@@ -1,0 +1,5 @@
+"""pytest-benchmark suite: one module per table/figure of the paper.
+
+Run with:  pytest benchmarks/ --benchmark-only
+Scale with:  REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,35 @@
+"""Ablation: the Section 4.6 β trade-off.
+
+Sweeps the value-hash bucket count on the DBLP value queries, measuring
+construction time, B-tree size, edge-label vocabulary, and the value
+queries' false-positive ratio.  The paper leaves "how to choose a proper
+β" as future work; this bench is the experiment that question needs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablation import print_beta_sweep, run_beta_sweep
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_beta_sweep_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_beta_sweep(scale=min(BENCH_SCALE, 0.3), seed=BENCH_SEED),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_beta_sweep(rows)
+    assert len(rows) >= 3
+
+    # Completeness is independent of beta (hashing cannot lose answers).
+    assert all(row.false_negatives == 0 for row in rows)
+
+    # More buckets -> richer edge vocabulary (monotone by construction).
+    sizes = [row.encoder_size for row in rows]
+    assert sizes == sorted(sizes)
+
+    # The trade-off direction: the largest beta should not have a worse
+    # false-positive ratio than the smallest (finer hashing separates
+    # more values).
+    assert rows[-1].avg_fpr <= rows[0].avg_fpr + 1e-9

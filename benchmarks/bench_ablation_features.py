@@ -1,0 +1,37 @@
+"""Ablation: what each component of the feature key buys.
+
+Compares candidate counts under (a) root label alone, (b) the paper's
+``(root label, λ_min, λ_max)`` range key, and (c) the full-spectrum
+multiset-subset test the paper sketches in Section 3.3 but rejects for
+engineering reasons.  DESIGN.md §5 lists this as design decision 1.
+"""
+
+from __future__ import annotations
+
+from repro.bench.ablation import print_feature_ablation, run_feature_ablation
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_feature_ablation_report(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_feature_ablation(
+            scale=min(BENCH_SCALE, 0.5), seed=BENCH_SEED
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_feature_ablation(rows)
+    assert rows
+
+    for row in rows:
+        # Monotone pruning: each richer key prunes at least as much.
+        assert row.cdt_range <= row.cdt_label_only
+        assert row.cdt_spectrum <= row.cdt_range
+        # Completeness: no variant prunes below the truth.
+        assert row.cdt_spectrum >= 0
+        assert row.rst <= row.cdt_range
+
+    # The eigenvalue range must add real pruning beyond the label on
+    # structure-rich data — that is FIX's whole point.
+    assert any(row.cdt_range < row.cdt_label_only * 0.8 for row in rows)

@@ -1,0 +1,55 @@
+"""Section 3.3's computational-cost claim: eigenvalue extraction is
+"sub-millisecond for a dense 10x10 matrix and sub-second for a dense
+300x300 matrix" (on the paper's 2006 Pentium 4).  This module times the
+same operation — the Hermitian eigendecomposition of a dense anti-
+symmetric matrix — at the paper's two sizes plus intermediate ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.spectral import eigenvalue_range
+
+
+def _dense_antisymmetric(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.integers(1, 40, size=(n, n)).astype(np.float64), k=1)
+    return upper - upper.T
+
+
+@pytest.mark.parametrize("size", [10, 50, 100, 300])
+def test_eigen_cost(benchmark, size):
+    """Dense eigendecomposition at the paper's reference sizes."""
+    matrix = _dense_antisymmetric(size)
+    lmin, lmax = benchmark(lambda: eigenvalue_range(matrix))
+    assert lmax > 0 > lmin
+
+    # The paper's envelope, generously: sub-ms at 10x10 and sub-second
+    # at 300x300.  Modern LAPACK clears both by wide margins; assert the
+    # 300x300 bound only (the 10x10 median is checked after the fact in
+    # EXPERIMENTS.md to avoid flaky sub-ms assertions under load).
+    if size == 300:
+        assert benchmark.stats.stats.median < 1.0
+
+
+def test_eigen_cost_scales_cubically(benchmark):
+    """Sanity on the O(n^3) claim: one combined measurement pass."""
+
+    def measure() -> dict[int, float]:
+        import time
+
+        timings: dict[int, float] = {}
+        for size in (50, 100, 200):
+            matrix = _dense_antisymmetric(size)
+            started = time.perf_counter()
+            for _ in range(3):
+                eigenvalue_range(matrix)
+            timings[size] = (time.perf_counter() - started) / 3
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Doubling n should cost clearly more (allow wide slack: BLAS
+    # threading and small-matrix overheads flatten the low end).
+    assert timings[200] > timings[50]

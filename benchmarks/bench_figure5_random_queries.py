@@ -1,0 +1,50 @@
+"""Figure 5: average sel / pp / fpr over random query batches.
+
+The paper uses 1000 random queries per data set; the benchmark default
+is ``REPRO_BENCH_QUERIES`` (60) per set to keep the suite quick — the
+shape claims it checks are stable from a few dozen queries up.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.figure5 import print_figure5, run_figure5
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "60"))
+
+
+def test_figure5_report(benchmark):
+    """Regenerate and print the Figure 5 averages; verify the shapes."""
+    rows = benchmark.pedantic(
+        lambda: run_figure5(
+            scale=BENCH_SCALE, seed=BENCH_SEED, queries=BENCH_QUERIES
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure5(rows)
+    by_name = {row.dataset: row for row in rows}
+
+    # Every data set produced a filtered batch.
+    assert all(row.queries > 0 for row in rows)
+
+    # The paper's Figure 5 reading: average pp is very close to average
+    # sel for XMark and Treebank...
+    for name in ("xmark", "treebank"):
+        row = by_name[name]
+        assert row.avg_pp >= row.avg_sel - 0.1, name
+    # ...but clearly behind for the text-centric collection (paper:
+    # ~32-point gap for TCMD; DBLP in between).
+    xbench = by_name["xbench"]
+    assert xbench.avg_sel - xbench.avg_pp > 0.1
+
+    # False negatives: zero on the non-recursive workloads.  The
+    # recursive data sets (XMark's parlist nesting, Treebank's grammar)
+    # CAN lose answers — the Theorem 5 gap of DESIGN.md §5a observed in
+    # the wild — so for those the harness only requires that the gap is
+    # *measured*, not hidden.
+    assert by_name["xbench"].false_negatives == 0
+    assert by_name["dblp"].false_negatives == 0

@@ -1,0 +1,75 @@
+"""Figure 6: runtime comparison — NoK navigation without index support,
+unclustered FIX, the F&B covering index, and clustered FIX — on the
+XMark-, Treebank-, and DBLP-like data sets.
+
+Per-system micro-benchmarks time each query on each engine; the report
+test regenerates the full figure (both wall-clock and the cost-model
+page counts) and checks the cross-system claims that survive the move
+from the paper's disk-resident C++ prototype to a memory-resident Python
+simulator (see EXPERIMENTS.md for the full discussion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figure6 import print_figure6, run_figure6
+from repro.bench.paper_queries import FIGURE6_QUERIES
+from repro.engine import NavigationalEngine
+from repro.query import twig_of
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+_IDS = [f"{d}_{q}" for d, q, _ in FIGURE6_QUERIES]
+
+
+@pytest.mark.parametrize("dataset, query_id, query", FIGURE6_QUERIES, ids=_IDS)
+def test_fix_unclustered(benchmark, dataset, query_id, query, processors):
+    """Two-phase FIX evaluation (prune + navigational refinement)."""
+    processor = processors[dataset]
+    twig = twig_of(query)
+    result = benchmark(lambda: processor.query(twig))
+    assert result.candidate_count >= result.result_count
+
+
+@pytest.mark.parametrize("dataset, query_id, query", FIGURE6_QUERIES, ids=_IDS)
+def test_nok_baseline(benchmark, dataset, query_id, query, stores):
+    """No-index navigational evaluation over the whole store."""
+    engine = NavigationalEngine(stores[dataset])
+    twig = twig_of(query)
+    benchmark(lambda: engine.evaluate(twig))
+
+
+def test_figure6_report(benchmark):
+    """Regenerate and print Figure 6; verify the portable claims."""
+    rows = benchmark.pedantic(
+        lambda: run_figure6(scale=BENCH_SCALE, seed=BENCH_SEED, repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print_figure6(rows)
+    assert len(rows) == len(FIGURE6_QUERIES)
+
+    # All four systems agree on what the index must beat: candidates
+    # bound results everywhere.
+    assert all(row.candidate_count >= row.result_count for row in rows)
+
+    # Cost-model claims (implementation-independent, the paper's I/O
+    # story): clustered FIX reads fewer pages than unclustered chases
+    # pointers whenever candidates are plentiful...
+    heavy = [row for row in rows if row.candidate_count > 50]
+    assert heavy, "expected at least one candidate-heavy query"
+    for row in heavy:
+        assert row.fix_c_pages_sequential < row.fix_u_pages_random, row.query_id
+    # ...and on regular/shallow DBLP the F&B index is tiny — the paper's
+    # own negative result for clustered FIX (its whole F&B index was
+    # 180 KB): F&B touches fewer pages than the NoK full scan.
+    dblp_rows = [row for row in rows if row.dataset == "dblp"]
+    for row in dblp_rows:
+        assert row.fb_pages_sequential < row.nok_pages_sequential
+
+    # Wall-clock claim that does carry over: with index support, hi-
+    # selectivity DBLP branching queries beat the full navigational scan
+    # (the paper reports up to ~900% = 10x; shape, not magnitude).
+    hi_bp = next(r for r in rows if r.dataset == "dblp" and r.query_id == "hi_bp")
+    assert hi_bp.fix_unclustered_seconds < hi_bp.nok_seconds

@@ -1,0 +1,56 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 0.4) controls data-set sizes for the whole
+benchmark suite; 1.0 reproduces the numbers recorded in EXPERIMENTS.md.
+Fixtures are session-scoped so data generation and index construction
+are paid once per run, not per benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor
+from repro.datasets import load_dataset
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def bundles():
+    """All four data sets at the benchmark scale."""
+    return {
+        name: load_dataset(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+        for name in ("xbench", "dblp", "xmark", "treebank")
+    }
+
+
+@pytest.fixture(scope="session")
+def stores(bundles):
+    return {name: bundle.store() for name, bundle in bundles.items()}
+
+
+@pytest.fixture(scope="session")
+def unclustered_indexes(bundles, stores):
+    return {
+        name: FixIndex.build(
+            stores[name], FixIndexConfig(depth_limit=bundle.depth_limit)
+        )
+        for name, bundle in bundles.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def processors(unclustered_indexes):
+    return {
+        name: FixQueryProcessor(index)
+        for name, index in unclustered_indexes.items()
+    }

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Scenario 1 — a text-centric document collection (the XBench TCMD
+setting): index hundreds of small article documents as whole units and
+use FIX to find the documents matching structural twig queries, with
+the Section 5 decomposition handling interior ``//`` axes.
+
+Run:  python examples/document_collection_search.py
+"""
+
+import time
+
+from repro import FixIndex, FixIndexConfig, FixQueryProcessor, evaluate_pruning
+from repro.datasets import generate_xbench_tcmd
+
+
+def main() -> None:
+    bundle = generate_xbench_tcmd(scale=0.5, seed=7)
+    print(f"generated {bundle.description}")
+    print(
+        f"  {bundle.element_count()} elements, "
+        f"{bundle.size_bytes() / 1e6:.2f} MB, max depth {bundle.max_depth()}"
+    )
+
+    store = bundle.store()
+    started = time.perf_counter()
+    index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+    print(
+        f"indexed {index.entry_count} documents in "
+        f"{time.perf_counter() - started:.2f}s "
+        f"({index.size_bytes() / 1024:.0f} KiB B-tree)\n"
+    )
+
+    processor = FixQueryProcessor(index)
+    queries = [
+        # The paper's three TCMD representative queries:
+        "/article/epilog[acknoledgements]/references/a_id",
+        "/article/prolog[keywords]/authors/author/contact[phone]",
+        "/article[epilog]/prolog/authors/author",
+        # A decomposed query: interior '//' splits into twig fragments
+        # whose candidate sets intersect (Section 5).
+        "/article[.//keyword][.//phone]",
+        # An unanchored twig: label-free range-containment pruning.
+        "//contact[phone][email]",
+    ]
+    print(f"{'query':58s} {'cdt':>5s} {'hits':>5s} {'sel':>7s} {'pp':>7s} {'fpr':>7s}")
+    for query in queries:
+        result = processor.query(query)
+        metrics = evaluate_pruning(index, query, processor=processor)
+        print(
+            f"{query:58s} {result.candidate_count:5d} {result.result_count:5d} "
+            f"{metrics.sel:7.1%} {metrics.pp:7.1%} {metrics.fpr:7.1%}"
+        )
+
+    print(
+        "\nNote the paper's TCMD finding reproduced: documents in this "
+        "collection vary little structurally,\nso pruning power lags far "
+        "behind selectivity — a structural index can only do so much here."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation section
+in one run, printing paper-style tables.  This is the same code path the
+``benchmarks/`` suite drives; run it directly when you want the full
+exhibits at a chosen scale.
+
+Run:  python examples/reproduce_paper.py [scale]
+
+``scale`` defaults to 0.5 (about a minute); 1.0 gives the benchmark-
+default sizes.
+"""
+
+import sys
+import time
+
+from repro.bench import (
+    run_beta_sweep,
+    run_feature_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table1,
+    run_table2,
+)
+from repro.bench.ablation import print_beta_sweep, print_feature_ablation
+from repro.bench.figure5 import print_figure5
+from repro.bench.figure6 import print_figure6
+from repro.bench.figure7 import print_figure7
+from repro.bench.table1 import print_table1
+from repro.bench.table2 import print_table2
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    started = time.perf_counter()
+
+    print_table1(run_table1(scale=scale))
+    print()
+    print_table2(run_table2(scale=scale))
+    print()
+    print_figure5(run_figure5(scale=scale, queries=60))
+    print()
+    print_figure6(run_figure6(scale=scale))
+    print()
+    print_figure7(run_figure7(scale=scale))
+    print()
+    print_feature_ablation(run_feature_ablation(scale=min(scale, 0.5)))
+    print()
+    print_beta_sweep(run_beta_sweep(scale=min(scale, 0.3)))
+
+    print(f"\nfull reproduction run took {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

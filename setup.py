@@ -1,0 +1,18 @@
+"""Legacy setup shim: the build box has an old setuptools without the
+modern wheel-based editable-install path, so `pip install -e .` goes
+through this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FIX: Feature-based Indexing Technique for XML Documents - "
+        "full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

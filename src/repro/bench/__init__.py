@@ -1,0 +1,39 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each ``run_*`` function regenerates one exhibit of the evaluation
+section — same rows, same series — over the synthetic data sets, and
+returns structured results so callers (the pytest-benchmark wrappers in
+``benchmarks/``, the examples, EXPERIMENTS.md generation) can render or
+compare them.  ``print_*`` helpers produce the paper-style text tables.
+
+==================== =======================================
+Exhibit              Runner
+==================== =======================================
+Table 1              :func:`~repro.bench.table1.run_table1`
+Table 2              :func:`~repro.bench.table2.run_table2`
+Figure 5             :func:`~repro.bench.figure5.run_figure5`
+Figure 6 (a,b,c)     :func:`~repro.bench.figure6.run_figure6`
+Figure 7 (a,b)       :func:`~repro.bench.figure7.run_figure7`
+Feature ablation     :func:`~repro.bench.ablation.run_feature_ablation`
+β sweep              :func:`~repro.bench.ablation.run_beta_sweep`
+==================== =======================================
+"""
+
+from repro.bench.ablation import run_beta_sweep, run_feature_ablation
+from repro.bench.figure5 import run_figure5
+from repro.bench.figure6 import run_figure6
+from repro.bench.figure7 import run_figure7
+from repro.bench.reporting import format_table
+from repro.bench.table1 import run_table1
+from repro.bench.table2 import run_table2
+
+__all__ = [
+    "format_table",
+    "run_beta_sweep",
+    "run_feature_ablation",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_table1",
+    "run_table2",
+]

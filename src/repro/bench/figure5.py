@@ -1,0 +1,86 @@
+"""Figure 5: average sel / pp / fpr over random-query batches.
+
+The paper uses 1000 random queries per data set, dropping queries of
+selectivity exactly 0 or 1.  The batch size scales down with the data
+(the default benchmark run uses 100 per set; pass ``queries=1000`` for
+the full-fidelity version — it is only minutes of CPU)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table, percent
+from repro.core import FixIndex, FixIndexConfig, evaluate_pruning
+from repro.core.metrics import MetricAverages
+from repro.datasets import RandomQueryGenerator, dataset_names, load_dataset
+
+
+@dataclass
+class Figure5Row:
+    """One data-set bar group of Figure 5."""
+
+    dataset: str
+    queries: int
+    avg_sel: float
+    avg_pp: float
+    avg_fpr: float
+    false_negatives: int
+
+
+def run_figure5(
+    scale: float = 1.0,
+    seed: int = 42,
+    queries: int = 100,
+    datasets: list[str] | None = None,
+) -> list[Figure5Row]:
+    """Generate random batches per data set and average the metrics."""
+    rows: list[Figure5Row] = []
+    for name in datasets or dataset_names():
+        bundle = load_dataset(name, scale=scale, seed=seed)
+        index = FixIndex.build(
+            bundle.store(), FixIndexConfig(depth_limit=bundle.depth_limit)
+        )
+        generator = RandomQueryGenerator(bundle.documents, seed=seed)
+        averages = MetricAverages()
+
+        def keep(generated) -> bool:
+            metrics = evaluate_pruning(index, generated.twig)
+            # The paper's filter: drop selectivity exactly 0 or 1.
+            if metrics.rst == 0 or metrics.rst == metrics.ent:
+                return False
+            averages.add(metrics)
+            return True
+
+        generator.batch(queries, keep=keep)
+        rows.append(
+            Figure5Row(
+                dataset=name,
+                queries=averages.queries,
+                avg_sel=averages.avg_sel,
+                avg_pp=averages.avg_pp,
+                avg_fpr=averages.avg_fpr,
+                false_negatives=averages.false_negatives,
+            )
+        )
+    return rows
+
+
+def print_figure5(rows: list[Figure5Row]) -> str:
+    """Render the Figure 5 bar values as a table."""
+    table = format_table(
+        ["data set", "queries", "avg sel", "avg pp", "avg fpr", "FN"],
+        [
+            (
+                row.dataset,
+                row.queries,
+                percent(row.avg_sel),
+                percent(row.avg_pp),
+                percent(row.avg_fpr),
+                row.false_negatives,
+            )
+            for row in rows
+        ],
+        title="Figure 5: averages over random query batches",
+    )
+    print(table)
+    return table

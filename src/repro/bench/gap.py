@@ -1,0 +1,124 @@
+"""Quantifying the Theorem 5 completeness gap (reproduction contribution).
+
+DESIGN.md §5a documents that FIX as published can prune true matches
+when a label pair repeats along a path while a sibling shares the deeper
+equivalence class.  This experiment measures *how often* that actually
+happens as a function of structural recursion:
+
+* documents are XMark-``parlist``-style: alternating ``parlist`` /
+  ``listitem`` nests of random depth up to ``max_nesting``, with random
+  sibling branches (the sharing that creates the extra bisimulation
+  edges);
+* queries are the alternating chains ``//parlist/listitem/...`` of every
+  length the index covers;
+* for each (nesting, chain length) cell we report the number of true
+  result units and how many of them the feature key loses.
+
+The paper's own data sets sit at the two ends of this sweep: DBLP/XBench
+have no qualifying recursion (0% loss everywhere), while XMark's
+``parlist`` recursion reaches the lossy cells (Figure 5's measured 264
+false negatives).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table, percent
+from repro.core import FixIndex, FixIndexConfig
+from repro.core.metrics import evaluate_pruning
+from repro.query import twig_of
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, Element
+
+
+@dataclass
+class GapRow:
+    """One (nesting level, query length) cell of the sweep."""
+
+    max_nesting: int
+    chain_length: int
+    true_results: int
+    false_negatives: int
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of true results the index prunes."""
+        return (
+            self.false_negatives / self.true_results if self.true_results else 0.0
+        )
+
+
+def _recursive_document(
+    rng: random.Random, count: int, max_nesting: int
+) -> Document:
+    """A forest of parlist/listitem nests with sibling sharing."""
+    root = Element("doc")
+    for _ in range(count):
+        root.append(_nest(rng, depth=1, max_nesting=max_nesting))
+    return Document(root)
+
+
+def _nest(rng: random.Random, depth: int, max_nesting: int) -> Element:
+    parlist = Element("parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = parlist.add_element("listitem")
+        if depth < max_nesting and rng.random() < 0.6:
+            listitem.append(_nest(rng, depth + 1, max_nesting))
+        else:
+            listitem.add_element("text")
+    return parlist
+
+
+def run_gap_sweep(
+    nestings: tuple[int, ...] = (1, 2, 3, 4),
+    documents: int = 120,
+    depth_limit: int = 8,
+    seed: int = 42,
+) -> list[GapRow]:
+    """Measure false-negative rates across the recursion sweep."""
+    rows: list[GapRow] = []
+    for max_nesting in nestings:
+        rng = random.Random(seed)
+        store = PrimaryXMLStore()
+        store.add_document(_recursive_document(rng, documents, max_nesting))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=depth_limit))
+        for chain_length in range(1, max_nesting + 1):
+            steps = []
+            for position in range(chain_length * 2):
+                steps.append("parlist" if position % 2 == 0 else "listitem")
+            query = "//" + "/".join(steps)
+            twig = twig_of(query)
+            if not index.covers(twig):
+                continue
+            metrics = evaluate_pruning(index, twig)
+            rows.append(
+                GapRow(
+                    max_nesting=max_nesting,
+                    chain_length=len(steps),
+                    true_results=metrics.rst,
+                    false_negatives=metrics.false_negatives,
+                )
+            )
+    return rows
+
+
+def print_gap_sweep(rows: list[GapRow]) -> str:
+    """Render the sweep as a loss-rate table."""
+    table = format_table(
+        ["max nesting", "query chain", "true results", "lost (FN)", "loss rate"],
+        [
+            (
+                row.max_nesting,
+                row.chain_length,
+                row.true_results,
+                row.false_negatives,
+                percent(row.loss_rate),
+            )
+            for row in rows
+        ],
+        title="Theorem 5 gap: answers lost vs structural recursion",
+    )
+    print(table)
+    return table

@@ -1,0 +1,56 @@
+"""The paper's published query workloads, adapted verbatim where the
+generated schemas carry the same names (they were designed to).
+
+Three groups:
+
+* ``TABLE2_QUERIES`` — the Section 6.2 representative queries, one
+  (dataset, hi|md|lo) triple each.
+* ``FIGURE6_QUERIES`` — the Section 6.3 runtime queries,
+  {hi, lo} × {simple path, branching path} per large data set.
+* ``FIGURE7_QUERIES`` — the Section 6.4 DBLP value queries.
+"""
+
+from __future__ import annotations
+
+# (dataset, selectivity class, query)
+TABLE2_QUERIES: list[tuple[str, str, str]] = [
+    ("xbench", "hi", "/article/epilog[acknoledgements]/references/a_id"),
+    ("xbench", "md", "/article/prolog[keywords]/authors/author/contact[phone]"),
+    ("xbench", "lo", "/article[epilog]/prolog/authors/author"),
+    ("dblp", "hi", "//proceedings[booktitle]/title[sup][i]"),
+    ("dblp", "md", "//article[number]/author"),
+    ("dblp", "lo", "//inproceedings[url]/title"),
+    ("xmark", "hi", "//category/description[parlist]/parlist/listitem/text"),
+    ("xmark", "md", "//closed_auction/annotation/description/text"),
+    ("xmark", "lo", "//open_auction[seller]/annotation/description/text"),
+    ("treebank", "hi", "//EMPTY/S/NP[PP]/NP"),
+    ("treebank", "md", "//S[VP]/NP/NP/PP/NP"),
+    ("treebank", "lo", "//EMPTY/S[VP]/NP"),
+]
+
+# (dataset, query id, query)
+FIGURE6_QUERIES: list[tuple[str, str, str]] = [
+    ("xmark", "hi_sp", "//item/mailbox/mail/text/emph/keyword"),
+    ("xmark", "lo_sp", "//description/parlist/listitem"),
+    ("xmark", "hi_bp", "//item[name]/mailbox/mail[to]/text[bold]/emph/bold"),
+    (
+        "xmark",
+        "lo_bp",
+        "//item[payment][quantity][shipping][mailbox/mail/text]"
+        "/description/parlist",
+    ),
+    ("treebank", "hi_sp", "//EMPTY/S/NP/NP/PP"),
+    ("treebank", "lo_sp", "//EMPTY/S/VP"),
+    ("treebank", "hi_bp", "//EMPTY/S/NP[PP]/NP"),
+    ("treebank", "lo_bp", "//EMPTY/S[VP]/NP"),
+    ("dblp", "hi_sp", "//inproceedings/title/i"),
+    ("dblp", "lo_sp", "//dblp/inproceedings/author"),
+    ("dblp", "hi_bp", "//inproceedings[url]/title[sub][i]"),
+    ("dblp", "lo_bp", "//article[number]/author"),
+]
+
+# (query id, query) — all on DBLP
+FIGURE7_QUERIES: list[tuple[str, str]] = [
+    ("vl_hi", '//proceedings[publisher = "Springer"][title]'),
+    ("vl_lo", '//inproceedings[year = "1998"][title]/author'),
+]

@@ -1,0 +1,49 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned fixed-width table.
+
+    Floats are shown with 4 significant digits; percentages should be
+    pre-formatted by the caller.
+    """
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(value.ljust(widths[i]) for i, value in enumerate(values))
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as the paper prints metrics: two-decimal percent."""
+    return f"{value * 100:.2f}%"
+
+
+def megabytes(size_bytes: int) -> str:
+    """Format bytes as MB with two decimals."""
+    return f"{size_bytes / 1e6:.2f} MB"

@@ -1,0 +1,78 @@
+"""Table 1: data-set characteristics, index construction time, and the
+unclustered vs. clustered index sizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table, megabytes
+from repro.core import FixIndex, FixIndexConfig
+from repro.datasets import dataset_names, load_dataset
+
+
+@dataclass
+class Table1Row:
+    """One data-set row of Table 1."""
+
+    dataset: str
+    size_bytes: int
+    elements: int
+    depth_limit: int
+    construction_seconds: float
+    unclustered_bytes: int
+    clustered_bytes: int
+    oversized_patterns: int
+
+
+def run_table1(
+    scale: float = 1.0,
+    seed: int = 42,
+    datasets: list[str] | None = None,
+) -> list[Table1Row]:
+    """Build both index variants on every data set and measure."""
+    rows: list[Table1Row] = []
+    for name in datasets or dataset_names():
+        bundle = load_dataset(name, scale=scale, seed=seed)
+        store = bundle.store()
+        unclustered = FixIndex.build(
+            store, FixIndexConfig(depth_limit=bundle.depth_limit)
+        )
+        clustered = FixIndex.build(
+            store, FixIndexConfig(depth_limit=bundle.depth_limit, clustered=True)
+        )
+        rows.append(
+            Table1Row(
+                dataset=name,
+                size_bytes=bundle.size_bytes(),
+                elements=bundle.element_count(),
+                depth_limit=bundle.depth_limit,
+                construction_seconds=unclustered.report.seconds,
+                unclustered_bytes=unclustered.size_bytes(),
+                clustered_bytes=clustered.total_size_bytes(),
+                oversized_patterns=unclustered.report.stats.oversized_patterns,
+            )
+        )
+    return rows
+
+
+def print_table1(rows: list[Table1Row]) -> str:
+    """Render rows in the paper's Table 1 layout."""
+    table = format_table(
+        ["data set", "size", "# elements", "L", "ICT", "|UIdx|", "|CIdx|", "oversized"],
+        [
+            (
+                row.dataset,
+                megabytes(row.size_bytes),
+                row.elements,
+                row.depth_limit,
+                f"{row.construction_seconds:.2f} s",
+                megabytes(row.unclustered_bytes),
+                megabytes(row.clustered_bytes),
+                row.oversized_patterns,
+            )
+            for row in rows
+        ],
+        title="Table 1: data sets, construction time, index sizes",
+    )
+    print(table)
+    return table

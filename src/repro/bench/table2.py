@@ -1,0 +1,67 @@
+"""Table 2: implementation-independent metrics for the representative
+queries (one hi/md/lo triple per data set)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.paper_queries import TABLE2_QUERIES
+from repro.bench.reporting import format_table, percent
+from repro.core import FixIndex, FixIndexConfig, evaluate_pruning
+from repro.datasets import load_dataset
+
+
+@dataclass
+class Table2Row:
+    """One query row of Table 2 (plus this reproduction's FN column)."""
+
+    query_id: str
+    query: str
+    sel: float
+    pp: float
+    fpr: float
+    false_negatives: int
+
+
+def run_table2(scale: float = 1.0, seed: int = 42) -> list[Table2Row]:
+    """Evaluate sel/pp/fpr for each representative query."""
+    rows: list[Table2Row] = []
+    indexes: dict[str, FixIndex] = {}
+    for dataset, selectivity, query in TABLE2_QUERIES:
+        index = indexes.get(dataset)
+        if index is None:
+            bundle = load_dataset(dataset, scale=scale, seed=seed)
+            index = FixIndex.build(
+                bundle.store(), FixIndexConfig(depth_limit=bundle.depth_limit)
+            )
+            indexes[dataset] = index
+        metrics = evaluate_pruning(index, query)
+        label = {"xbench": "TCMD", "dblp": "DBLP", "xmark": "XMark", "treebank": "TrBnk"}[
+            dataset
+        ]
+        rows.append(
+            Table2Row(
+                query_id=f"{label}_{selectivity}",
+                query=query,
+                sel=metrics.sel,
+                pp=metrics.pp,
+                fpr=metrics.fpr,
+                false_negatives=metrics.false_negatives,
+            )
+        )
+    return rows
+
+
+def print_table2(rows: list[Table2Row]) -> str:
+    """Render rows in the paper's Table 2 layout."""
+    table = format_table(
+        ["query", "sel", "pp", "fpr", "FN"],
+        [
+            (row.query_id, percent(row.sel), percent(row.pp), percent(row.fpr),
+             row.false_negatives)
+            for row in rows
+        ],
+        title="Table 2: implementation-independent metrics, representative queries",
+    )
+    print(table)
+    return table

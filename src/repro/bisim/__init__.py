@@ -1,0 +1,50 @@
+"""Bisimulation graphs (Section 2.2 and Algorithm 1 of the paper).
+
+A *bisimulation graph* of an XML tree is the minimal labeled DAG in which
+two tree nodes are merged exactly when they have the same label and the
+same *set* of (merged) children — downward bisimilarity in the sense of
+Henzinger et al.  It preserves everything needed for **existential** twig
+matching (Theorem 2) while being far smaller than the tree, which is what
+makes eigenvalue extraction affordable.
+
+Contents:
+
+* :class:`~repro.bisim.graph.BisimVertex` / ``BisimGraph`` — the DAG.
+* :class:`~repro.bisim.builder.BisimGraphBuilder` — the single-pass,
+  stack-of-signatures construction of CONSTRUCT-ENTRIES (Algorithm 1);
+  also exposes the per-element ``(vertex, start_ptr)`` stream that drives
+  subpattern enumeration.
+* :func:`~repro.bisim.traveler.traveler_events` — the BISIM-TRAVELER of
+  Section 4.4: replays a vertex's depth-limited unfolding as an event
+  stream so it can be re-minimized by a fresh builder.
+* :mod:`~repro.bisim.dag` — small DAG utilities (edges, topological
+  order, canonical keys for isomorphism testing).
+"""
+
+from repro.bisim.builder import BisimGraphBuilder, bisim_graph_of_document, bisim_graph_of_events
+from repro.bisim.dag import (
+    canonical_key,
+    graphs_isomorphic,
+    edge_count,
+    edges,
+    reachable_vertices,
+    topological_order,
+)
+from repro.bisim.graph import BisimGraph, BisimVertex
+from repro.bisim.traveler import depth_limited_graph, traveler_events
+
+__all__ = [
+    "BisimGraph",
+    "BisimGraphBuilder",
+    "BisimVertex",
+    "bisim_graph_of_document",
+    "bisim_graph_of_events",
+    "canonical_key",
+    "depth_limited_graph",
+    "edge_count",
+    "edges",
+    "graphs_isomorphic",
+    "reachable_vertices",
+    "topological_order",
+    "traveler_events",
+]

@@ -1,0 +1,207 @@
+"""Single-pass bisimulation-graph construction (Algorithm 1, CONSTRUCT-ENTRIES).
+
+The builder consumes an event stream and maintains:
+
+* ``PathStack`` — one frame per currently-open element, holding the label,
+  the set of child vertex ids accumulated so far, and the element's
+  storage pointer (exactly the ``(sig, start_ptr)`` pairs of the paper);
+* a signature map ``sig -> vertex`` so that structurally identical
+  subtrees collapse into one vertex (``sig`` is the label plus the
+  *set* of child vertices — Definition 3's downward bisimilarity).
+
+On every close event the builder resolves the completed element's
+signature to a vertex (creating one if needed) and reports the
+``(vertex, start_ptr)`` pair to its caller.  FIX index construction with
+a positive depth limit hangs GEN-SUBPATTERN off exactly this per-element
+callback (one B-tree entry per element — Theorem 4), while depth-limit-0
+construction only uses the final root vertex.
+
+Text events are ignored unless a ``text_label`` mapping is supplied, in
+which case each text node becomes a leaf child vertex labeled by the
+mapped value — this is the Section 4.6 value extension, where the map is
+a hash into a small domain.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.errors import BisimulationError
+from repro.bisim.graph import BisimGraph, BisimVertex
+from repro.xmltree.events import CloseEvent, Event, OpenEvent, TextEvent
+from repro.xmltree.model import Document, Element
+from repro.xmltree.events import tree_events
+
+Signature = tuple[str, frozenset[int]]
+
+
+class _Frame:
+    """A PathStack frame for one open element."""
+
+    __slots__ = ("label", "child_vids", "start_ptr")
+
+    def __init__(self, label: str, start_ptr: int) -> None:
+        self.label = label
+        self.child_vids: set[int] = set()
+        self.start_ptr = start_ptr
+
+
+class BisimGraphBuilder:
+    """Incremental bisimulation-graph builder over an event stream.
+
+    Args:
+        record_extents: when ``True``, each vertex records the preorder
+            ids of the XML nodes in its extent (useful for evaluation and
+            tests; off by default to keep construction lean).
+        text_label: optional mapping from a text value to a synthetic
+            label; when given, text nodes participate in the structure as
+            leaf children (the value extension of Section 4.6).
+
+    The builder may be fed several complete documents in sequence
+    (a *forest*); in that case the final graph's root is a synthetic
+    vertex labeled ``#forest`` whose children are the document roots.
+    This is how the collection-as-one-unit tests exercise it; FIX itself
+    builds one graph per document.
+    """
+
+    FOREST_LABEL = "#forest"
+
+    def __init__(
+        self,
+        record_extents: bool = False,
+        text_label: Callable[[str], str] | None = None,
+    ) -> None:
+        self._record_extents = record_extents
+        self._text_label = text_label
+        self._sig_map: dict[Signature, BisimVertex] = {}
+        self._vertices: list[BisimVertex] = []
+        self._stack: list[_Frame] = []
+        self._root_vids: set[int] = set()
+        self._roots: list[BisimVertex] = []
+
+    # ------------------------------------------------------------------ #
+    # Event consumption
+    # ------------------------------------------------------------------ #
+
+    def feed(self, event: Event) -> tuple[BisimVertex, int] | None:
+        """Consume one event.
+
+        Returns the ``(vertex, start_ptr)`` pair when the event closes an
+        element, else ``None``.
+        """
+        if isinstance(event, OpenEvent):
+            self._stack.append(_Frame(event.label, event.start_ptr))
+            return None
+        if isinstance(event, TextEvent):
+            if self._text_label is None:
+                return None
+            if not self._stack:
+                raise BisimulationError("text event outside any element")
+            vertex = self._intern(self._text_label(event.value), frozenset())
+            self._note_extent(vertex, event.start_ptr)
+            self._stack[-1].child_vids.add(vertex.vid)
+            return None
+        if isinstance(event, CloseEvent):
+            if not self._stack:
+                raise BisimulationError(
+                    f"close event {event.label!r} with no open element"
+                )
+            frame = self._stack.pop()
+            if frame.label != event.label:
+                raise BisimulationError(
+                    f"close event {event.label!r} does not match open "
+                    f"element {frame.label!r}"
+                )
+            vertex = self._intern(frame.label, frozenset(frame.child_vids))
+            self._note_extent(vertex, frame.start_ptr)
+            if self._stack:
+                self._stack[-1].child_vids.add(vertex.vid)
+            else:
+                if vertex.vid not in self._root_vids:
+                    self._root_vids.add(vertex.vid)
+                    self._roots.append(vertex)
+            return vertex, frame.start_ptr
+        raise TypeError(f"unknown event type: {event!r}")  # pragma: no cover
+
+    def feed_all(self, events: Iterable[Event]) -> "BisimGraphBuilder":
+        """Consume every event and return ``self`` (results discarded)."""
+        for event in events:
+            self.feed(event)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Finalization
+    # ------------------------------------------------------------------ #
+
+    def finish(self) -> BisimGraph:
+        """Return the completed graph.
+
+        Raises :class:`BisimulationError` if elements remain open or no
+        element was ever closed.
+        """
+        if self._stack:
+            raise BisimulationError(
+                f"event stream ended with {len(self._stack)} unclosed element(s)"
+            )
+        if not self._roots:
+            raise BisimulationError("event stream contained no elements")
+        if len(self._roots) == 1:
+            root = self._roots[0]
+        else:
+            # Forest: tie the distinct document-root classes under one
+            # synthetic vertex so the result is a single rooted DAG.
+            root = self._intern(
+                self.FOREST_LABEL, frozenset(v.vid for v in self._roots)
+            )
+        return BisimGraph(root, self._vertices)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _intern(self, label: str, child_vids: frozenset[int]) -> BisimVertex:
+        """Return the vertex for ``(label, child_vids)``, creating it if new."""
+        sig: Signature = (label, child_vids)
+        vertex = self._sig_map.get(sig)
+        if vertex is None:
+            children = tuple(
+                sorted((self._vertices[vid] for vid in child_vids), key=lambda v: v.vid)
+            )
+            vertex = BisimVertex(len(self._vertices), label, children)
+            self._vertices.append(vertex)
+            self._sig_map[sig] = vertex
+        return vertex
+
+    def _note_extent(self, vertex: BisimVertex, start_ptr: int) -> None:
+        vertex.extent_size += 1
+        if self._record_extents:
+            if vertex.extent is None:
+                vertex.extent = []
+            vertex.extent.append(start_ptr)
+
+
+def bisim_graph_of_events(
+    events: Iterable[Event],
+    record_extents: bool = False,
+    text_label: Callable[[str], str] | None = None,
+) -> BisimGraph:
+    """Build the bisimulation graph of a complete event stream."""
+    builder = BisimGraphBuilder(record_extents=record_extents, text_label=text_label)
+    return builder.feed_all(events).finish()
+
+
+def bisim_graph_of_document(
+    document: Document | Element,
+    record_extents: bool = False,
+    text_label: Callable[[str], str] | None = None,
+) -> BisimGraph:
+    """Build the bisimulation graph of a document or subtree.
+
+    Text nodes are only walked when ``text_label`` is provided, since the
+    pure structural graph ignores them anyway.
+    """
+    root = document.root if isinstance(document, Document) else document
+    events = tree_events(root, include_text=text_label is not None)
+    return bisim_graph_of_events(
+        events, record_extents=record_extents, text_label=text_label
+    )

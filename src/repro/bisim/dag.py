@@ -1,0 +1,83 @@
+"""Small DAG utilities over bisimulation graphs.
+
+These helpers are shared by the spectral-matrix builder (which needs the
+edge list in a deterministic order), the F&B baseline, and the test suite
+(canonical keys give a cheap isomorphism test for minimal graphs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.bisim.graph import BisimGraph, BisimVertex
+
+
+def edges(graph: BisimGraph) -> Iterator[tuple[BisimVertex, BisimVertex]]:
+    """Yield every (parent, child) vertex pair reachable from the root.
+
+    Order is deterministic: parents in reachability (DFS from root, vid
+    tie-broken) order, children in vid order.
+    """
+    for parent in topological_order(graph):
+        for child in parent.children:
+            yield parent, child
+
+
+def edge_count(graph: BisimGraph) -> int:
+    """Number of edges reachable from the root."""
+    return sum(1 for _ in edges(graph))
+
+
+def reachable_vertices(root: BisimVertex) -> list[BisimVertex]:
+    """All vertices reachable from ``root``, in discovery (DFS) order."""
+    seen: set[int] = set()
+    order: list[BisimVertex] = []
+    stack = [root]
+    while stack:
+        vertex = stack.pop()
+        if vertex.vid in seen:
+            continue
+        seen.add(vertex.vid)
+        order.append(vertex)
+        # Reverse so lower-vid children are discovered first.
+        stack.extend(reversed(vertex.children))
+    return order
+
+
+def topological_order(graph: BisimGraph) -> list[BisimVertex]:
+    """Reachable vertices in a parent-before-child order.
+
+    Builder vids are assigned bottom-up, so descending vid order over the
+    reachable set is a valid topological order of the DAG.
+    """
+    return sorted(reachable_vertices(graph.root), key=lambda v: -v.vid)
+
+
+def canonical_key(vertex: BisimVertex, _memo: dict[int, object] | None = None) -> object:
+    """A hashable key identical for (and only for) bisimilar vertices.
+
+    Defined recursively as ``(label, frozenset of child keys)``.  For
+    *minimal* graphs (anything a :class:`BisimGraphBuilder` produces) two
+    graphs are isomorphic exactly when their roots' canonical keys are
+    equal, which gives the test suite a decidable graph-equality check.
+    """
+    memo: dict[int, object] = {} if _memo is None else _memo
+    # Iterative post-order to avoid recursion limits on deep graphs.
+    stack: list[tuple[BisimVertex, bool]] = [(vertex, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node.vid in memo:
+            continue
+        if ready:
+            memo[node.vid] = (node.label, frozenset(memo[c.vid] for c in node.children))
+            continue
+        stack.append((node, True))
+        for child in node.children:
+            if child.vid not in memo:
+                stack.append((child, False))
+    return memo[vertex.vid]
+
+
+def graphs_isomorphic(left: BisimGraph, right: BisimGraph) -> bool:
+    """Isomorphism test for two *minimal* bisimulation graphs."""
+    return canonical_key(left.root) == canonical_key(right.root)

@@ -1,0 +1,30 @@
+"""A page-backed B+tree (the Berkeley DB stand-in).
+
+* :mod:`~repro.btree.keys` — order-preserving byte encodings for the
+  composite FIX key ``(root label, λ_max, λ_min)``; byte-wise comparison
+  of encoded keys equals lexicographic comparison of the tuples.
+* :mod:`~repro.btree.node` — leaf / internal node layouts and their page
+  (de)serialization.
+* :class:`~repro.btree.tree.BPlusTree` — insert, point lookup, ordered
+  range scans over linked leaves, duplicates allowed, lazy delete.
+  Nodes live in a parsed-node cache and are serialized to pager pages on
+  flush, so page counts and I/O counters reflect a real disk layout.
+"""
+
+from repro.btree.keys import (
+    decode_feature_key,
+    encode_feature_key,
+    encode_float,
+    decode_float,
+    label_upper_bound,
+)
+from repro.btree.tree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "decode_feature_key",
+    "decode_float",
+    "encode_feature_key",
+    "encode_float",
+    "label_upper_bound",
+]

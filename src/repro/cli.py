@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build``  — load XML files (or generate a named data set) into a
+  primary store, build a FIX index, and save both to a directory.
+* ``query``  — run a path expression against a saved index; prints the
+  matched units and the phase breakdown.
+* ``stats``  — summarize a saved index (entries, sizes, labels).
+* ``datasets`` — list the built-in synthetic data sets.
+* ``bench``  — regenerate one of the paper's tables/figures.
+
+Examples::
+
+    python -m repro build --dataset xmark --scale 0.3 --out /tmp/idx \\
+        --depth-limit 6
+    python -m repro query /tmp/idx "//item[name]/mailbox"
+    python -m repro stats /tmp/idx
+    python -m repro bench table2 --scale 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.core import (
+    FixIndex,
+    FixIndexConfig,
+    FixQueryProcessor,
+    evaluate_pruning,
+    load_index,
+    save_index,
+)
+from repro.errors import ReproError
+from repro.query import twig_of
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FIX: feature-based XML indexing (paper reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build and save a FIX index")
+    source = build.add_mutually_exclusive_group(required=True)
+    source.add_argument("--xml", nargs="+", metavar="FILE", help="XML input files")
+    source.add_argument(
+        "--dataset", choices=["xbench", "dblp", "xmark", "treebank"],
+        help="generate a built-in synthetic data set instead",
+    )
+    build.add_argument("--scale", type=float, default=0.3, help="data-set scale")
+    build.add_argument("--seed", type=int, default=42, help="data-set seed")
+    build.add_argument("--out", required=True, metavar="DIR", help="output directory")
+    build.add_argument(
+        "--depth-limit", type=int, default=None,
+        help="pattern depth limit L (default: data set's suggested value, "
+        "or 0 for XML files)",
+    )
+    build.add_argument("--clustered", action="store_true", help="clustered variant")
+    build.add_argument(
+        "--beta", type=int, default=None, metavar="B",
+        help="enable the value extension with B hash buckets",
+    )
+
+    query = commands.add_parser("query", help="query a saved index")
+    query.add_argument("index_dir", metavar="DIR")
+    query.add_argument("expression", metavar="QUERY")
+    query.add_argument(
+        "--metrics", action="store_true",
+        help="also compute sel/pp/fpr against the brute-force ground truth",
+    )
+    query.add_argument(
+        "--limit", type=int, default=20, help="max result pointers to print"
+    )
+
+    stats = commands.add_parser("stats", help="summarize a saved index")
+    stats.add_argument("index_dir", metavar="DIR")
+
+    verify = commands.add_parser("verify", help="consistency-check a saved index")
+    verify.add_argument("index_dir", metavar="DIR")
+    verify.add_argument(
+        "--fast", action="store_true",
+        help="skip feature-key recomputation (structural checks only)",
+    )
+
+    commands.add_parser("datasets", help="list built-in data sets")
+
+    bench = commands.add_parser("bench", help="regenerate a paper exhibit")
+    bench.add_argument(
+        "exhibit",
+        choices=["table1", "table2", "figure5", "figure6", "figure7",
+                 "ablation-features", "ablation-beta"],
+    )
+    bench.add_argument("--scale", type=float, default=0.3)
+    bench.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Commands
+# --------------------------------------------------------------------- #
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    store = PrimaryXMLStore()
+    depth_limit = args.depth_limit
+    if args.dataset:
+        from repro.datasets import load_dataset
+
+        bundle = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        for document in bundle.documents:
+            store.add_document(document)
+        if depth_limit is None:
+            depth_limit = bundle.depth_limit
+        print(f"generated {bundle.description}")
+    else:
+        for path in args.xml:
+            store.add_document(parse_xml_file(path))
+            print(f"loaded {path}")
+        if depth_limit is None:
+            depth_limit = 0
+    config = FixIndexConfig(
+        depth_limit=depth_limit,
+        clustered=args.clustered,
+        value_buckets=args.beta,
+    )
+    started = time.perf_counter()
+    index = FixIndex.build(store, config)
+    seconds = time.perf_counter() - started
+    store.save(os.path.join(args.out, "store"))
+    save_index(index, args.out)
+    print(
+        f"built {index!r} in {seconds:.2f}s -> {args.out} "
+        f"({index.size_bytes() / 1e6:.2f} MB B-tree)"
+    )
+    return 0
+
+
+def _open(index_dir: str) -> tuple[PrimaryXMLStore, FixIndex]:
+    store = PrimaryXMLStore.load(os.path.join(index_dir, "store"))
+    return store, load_index(index_dir, store)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    store, index = _open(args.index_dir)
+    processor = FixQueryProcessor(index)
+    twig = twig_of(args.expression)
+    result = processor.query(twig)
+    print(
+        f"candidates={result.candidate_count} results={result.result_count} "
+        f"prune={result.prune_seconds * 1000:.2f}ms "
+        f"refine={result.refine_seconds * 1000:.2f}ms"
+    )
+    for pointer in result.results[: args.limit]:
+        element = store.resolve(pointer)
+        print(f"  doc {pointer.doc_id} node {pointer.node_id} <{element.tag}>")
+    if result.result_count > args.limit:
+        print(f"  ... and {result.result_count - args.limit} more")
+    if args.metrics:
+        metrics = evaluate_pruning(index, twig, processor=processor)
+        print(
+            f"sel={metrics.sel:.2%} pp={metrics.pp:.2%} fpr={metrics.fpr:.2%} "
+            f"false_negatives={metrics.false_negatives}"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    _, index = _open(args.index_dir)
+    config = index.config
+    print(f"{index!r}")
+    print(f"  entries:        {index.entry_count}")
+    print(f"  B-tree:         {index.size_bytes() / 1e6:.2f} MB, "
+          f"height {index.btree.height()}")
+    if index.clustered_store is not None:
+        print(f"  clustered copy: {index.clustered_store.size_bytes() / 1e6:.2f} MB, "
+              f"{index.clustered_store.unit_count} units")
+    print(f"  depth limit:    {config.depth_limit}")
+    print(f"  value buckets:  {config.value_buckets}")
+    print(f"  edge labels:    {len(index.encoder)}")
+    labels: dict[str, int] = {}
+    for entry in index.iter_entries():
+        labels[entry.key.root_label] = labels.get(entry.key.root_label, 0) + 1
+    top = sorted(labels.items(), key=lambda kv: -kv[1])[:10]
+    print("  top root labels:")
+    for label, count in top:
+        print(f"    {label:24s} {count}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.core.verify import verify_index
+
+    _, index = _open(args.index_dir)
+    report = verify_index(index, recompute_keys=not args.fast)
+    print(report.summary())
+    for problem in report.problems:
+        print(f"  {problem}")
+    return 0 if report.ok else 1
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    from repro.datasets import dataset_names, load_dataset
+
+    for name in dataset_names():
+        bundle = load_dataset(name, scale=0.05)
+        print(f"{name:9s} L={bundle.depth_limit}  {bundle.description}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        run_beta_sweep,
+        run_feature_ablation,
+        run_figure5,
+        run_figure6,
+        run_figure7,
+        run_table1,
+        run_table2,
+    )
+    from repro.bench.ablation import print_beta_sweep, print_feature_ablation
+    from repro.bench.figure5 import print_figure5
+    from repro.bench.figure6 import print_figure6
+    from repro.bench.figure7 import print_figure7
+    from repro.bench.table1 import print_table1
+    from repro.bench.table2 import print_table2
+
+    scale, seed = args.scale, args.seed
+    if args.exhibit == "table1":
+        print_table1(run_table1(scale=scale, seed=seed))
+    elif args.exhibit == "table2":
+        print_table2(run_table2(scale=scale, seed=seed))
+    elif args.exhibit == "figure5":
+        print_figure5(run_figure5(scale=scale, seed=seed, queries=60))
+    elif args.exhibit == "figure6":
+        print_figure6(run_figure6(scale=scale, seed=seed))
+    elif args.exhibit == "figure7":
+        print_figure7(run_figure7(scale=scale, seed=seed))
+    elif args.exhibit == "ablation-features":
+        print_feature_ablation(run_feature_ablation(scale=scale, seed=seed))
+    elif args.exhibit == "ablation-beta":
+        print_beta_sweep(run_beta_sweep(scale=scale, seed=seed))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "stats": _cmd_stats,
+        "verify": _cmd_verify,
+        "datasets": _cmd_datasets,
+        "bench": _cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""Index-entry generation for one document (Algorithm 1's core).
+
+This module turns a document into a stream of ``(FeatureKey, element
+node id)`` entries, in the two regimes CONSTRUCT-INDEX distinguishes:
+
+* **unit mode** (small document, or ``depth_limit == 0``): the whole
+  document is one indexable unit; one entry is produced, keyed by the
+  features of its full bisimulation graph.
+* **subpattern mode** (``depth_limit > 0`` and the document is deeper):
+  the builder's per-element callback drives GEN-SUBPATTERN — for every
+  element, the depth-limited unfolding of its bisimulation vertex is
+  re-minimized through the traveler and its features computed, memoized
+  per vertex so the eigen-decomposition runs once per equivalence class
+  (Theorem 4 still guarantees exactly one *entry* per element).
+
+Patterns whose unfolding or matrix exceeds the configured caps fall back
+to the all-covering feature range (Section 6.1's artificial ``[0, ∞]``),
+counted in the returned statistics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import PatternTooLargeError
+from repro.bisim import BisimGraphBuilder, depth_limited_graph
+from repro.bisim.graph import BisimVertex
+from repro.spectral import (
+    ALL_COVERING_RANGE,
+    EdgeLabelEncoder,
+    FeatureKey,
+    pattern_features,
+)
+from repro.xmltree import Document, tree_events
+
+
+@dataclass
+class ConstructionStats:
+    """Per-build statistics, aggregated across documents."""
+
+    entries: int = 0
+    documents: int = 0
+    unit_documents: int = 0
+    subpattern_documents: int = 0
+    bisim_vertices: int = 0
+    eigen_computations: int = 0
+    oversized_patterns: int = 0
+    #: vertex count of the largest pattern actually decomposed.
+    largest_pattern: int = 0
+    per_document_vertices: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True, slots=True)
+class Entry:
+    """One index entry before key encoding."""
+
+    key: FeatureKey
+    node_id: int
+
+
+class EntryGenerator:
+    """Generates index entries for documents under one shared encoder."""
+
+    def __init__(
+        self,
+        encoder: EdgeLabelEncoder,
+        depth_limit: int,
+        text_label: Callable[[str], str] | None = None,
+        max_pattern_vertices: int = 800,
+        max_unfolding_opens: int = 20000,
+    ) -> None:
+        self.encoder = encoder
+        self.depth_limit = depth_limit
+        self.text_label = text_label
+        self.max_pattern_vertices = max_pattern_vertices
+        self.max_unfolding_opens = max_unfolding_opens
+        self.stats = ConstructionStats()
+
+    # ------------------------------------------------------------------ #
+    # Entry streams
+    # ------------------------------------------------------------------ #
+
+    def entries_for(self, document: Document) -> Iterator[Entry]:
+        """Yield every index entry for ``document``.
+
+        Chooses unit vs. subpattern mode per CONSTRUCT-INDEX: a document
+        no deeper than the depth limit (or any document when the limit is
+        0) is a single unit.
+        """
+        self.stats.documents += 1
+        # Algorithm 1 as published also indexes documents shallower than
+        # the depth limit as single units, but a unit entry is keyed by
+        # the *document root's* label and therefore invisible to covered
+        # queries rooted at interior labels — a completeness gap.  We
+        # apply subpattern mode uniformly whenever a depth limit is set
+        # (Theorem 4's one-entry-per-element accounting then holds for
+        # every document); unit mode is the collection scenario,
+        # depth_limit == 0.  See DESIGN.md §5a.
+        if self.depth_limit <= 0:
+            self.stats.unit_documents += 1
+            yield self._unit_entry(document)
+        else:
+            self.stats.subpattern_documents += 1
+            yield from self._subpattern_entries(document)
+
+    def _unit_entry(self, document: Document) -> Entry:
+        builder = BisimGraphBuilder(text_label=self.text_label)
+        builder.feed_all(
+            tree_events(document.root, include_text=self.text_label is not None)
+        )
+        graph = builder.finish()
+        self.stats.bisim_vertices += graph.vertex_count()
+        self.stats.per_document_vertices.append(graph.vertex_count())
+        key = self._features_of_graph(graph)
+        self.stats.entries += 1
+        return Entry(key, document.root.node_id)
+
+    def _subpattern_entries(self, document: Document) -> Iterator[Entry]:
+        builder = BisimGraphBuilder(text_label=self.text_label)
+        for event in tree_events(
+            document.root, include_text=self.text_label is not None
+        ):
+            closed = builder.feed(event)
+            if closed is not None:
+                # GEN-SUBPATTERN runs per closing event; by close time the
+                # vertex's children are final, so its depth-L view is
+                # computable immediately.
+                vertex, start_ptr = closed
+                key = self._vertex_features(vertex)
+                self.stats.entries += 1
+                yield Entry(key, start_ptr)
+        graph = builder.finish()
+        self.stats.bisim_vertices += graph.vertex_count()
+        self.stats.per_document_vertices.append(graph.vertex_count())
+
+    # ------------------------------------------------------------------ #
+    # Feature extraction with memoization and fallback
+    # ------------------------------------------------------------------ #
+
+    def _vertex_features(self, vertex: BisimVertex) -> FeatureKey:
+        """GEN-SUBPATTERN + BTREE-INSERT's feature half: memoized per
+        bisimulation vertex (Algorithm 1's ``u.eigs`` check)."""
+        if vertex.eigs is not None:
+            return vertex.eigs
+        try:
+            pattern = depth_limited_graph(
+                vertex, self.depth_limit, max_opens=self.max_unfolding_opens
+            )
+            key = self._features_of_graph(pattern)
+        except PatternTooLargeError:
+            self.stats.oversized_patterns += 1
+            key = FeatureKey(vertex.label, ALL_COVERING_RANGE)
+        vertex.eigs = key
+        return key
+
+    def _features_of_graph(self, graph) -> FeatureKey:
+        size = graph.vertex_count()
+        try:
+            key = pattern_features(
+                graph, self.encoder, max_vertices=self.max_pattern_vertices
+            )
+            self.stats.eigen_computations += 1
+            if size > self.stats.largest_pattern:
+                self.stats.largest_pattern = size
+            return key
+        except PatternTooLargeError:
+            self.stats.oversized_patterns += 1
+            return FeatureKey(graph.root.label, ALL_COVERING_RANGE)

@@ -1,0 +1,379 @@
+"""The FIX index (Section 4).
+
+A :class:`FixIndex` ties together every substrate: the primary store the
+documents live in, the shared edge-label encoder, the entry generator of
+Algorithm 1, the B-tree the feature keys go into, and — for the
+clustered variant — the key-ordered copy store of Figure 4.
+
+Key format in the B-tree: ``encode_feature_key(label, λ_max, λ_min)``
+(:mod:`repro.btree.keys`); λ_max is the secondary sort component, which
+makes the pruning scan of Algorithm 2 a single contiguous range per
+label.  Values:
+
+* unclustered — the 8-byte packed :class:`NodePointer` into primary
+  storage;
+* clustered  — the 8-byte packed :class:`RecordPointer` into the copy
+  store, followed by the packed ``NodePointer`` (the primary pointer is
+  retained so queries that outgrow the copy's depth horizon — decomposed
+  ``//`` fragments — can still refine against the original document).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+
+from repro.btree import BPlusTree, encode_feature_key, label_upper_bound
+from repro.btree.keys import decode_feature_key
+from repro.core.construction import ConstructionStats, EntryGenerator
+from repro.core.values import ValueHasher
+from repro.errors import IndexCoverageError, UnsupportedQueryError
+from repro.query.ast import Axis
+from repro.query.twig import TwigQuery
+from repro.spectral import (
+    DEFAULT_GUARD_BAND,
+    EdgeLabelEncoder,
+    FeatureKey,
+    FeatureRange,
+    pattern_features,
+)
+from repro.errors import PatternTooLargeError
+from repro.spectral.features import ALL_COVERING_RANGE
+from repro.storage import (
+    ClusteredStore,
+    NodePointer,
+    PrimaryXMLStore,
+    RecordPointer,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FixIndexConfig:
+    """Construction-time parameters.
+
+    Attributes:
+        depth_limit: the ``L`` of Algorithm 1.  ``0`` indexes each
+            document as one unit (the collection scenario); ``k > 0``
+            enumerates depth-``k`` subpatterns of deeper documents
+            (the single-large-document scenario; the paper uses 6).
+        clustered: build the Figure 4 clustered variant.
+        value_buckets: ``β`` of Section 4.6; ``None`` for the pure
+            structural index.
+        max_pattern_vertices: eigen-decomposition size cap; larger
+            patterns fall back to the all-covering range (the paper's
+            ~3000-edge fallback).
+        max_unfolding_opens: cap on a depth-limited unfolding's size.
+        guard_band: numerical slack for the containment predicate.
+    """
+
+    depth_limit: int = 0
+    clustered: bool = False
+    value_buckets: int | None = None
+    max_pattern_vertices: int = 800
+    max_unfolding_opens: int = 20000
+    guard_band: float = DEFAULT_GUARD_BAND
+
+
+@dataclass(frozen=True, slots=True)
+class IndexEntry:
+    """A decoded candidate returned by the pruning phase."""
+
+    key: FeatureKey
+    pointer: NodePointer
+    record: RecordPointer | None = None
+
+
+@dataclass
+class BuildReport:
+    """What a build did: Algorithm 1's observable costs."""
+
+    seconds: float = 0.0
+    stats: ConstructionStats = field(default_factory=ConstructionStats)
+    btree_bytes: int = 0
+    clustered_bytes: int = 0
+
+
+class FixIndex:
+    """The feature-based index over a primary store."""
+
+    def __init__(
+        self,
+        store: PrimaryXMLStore,
+        config: FixIndexConfig | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config or FixIndexConfig()
+        self.encoder = EdgeLabelEncoder()
+        self.btree = BPlusTree()
+        self.value_hasher = (
+            ValueHasher(self.config.value_buckets)
+            if self.config.value_buckets is not None
+            else None
+        )
+        self.clustered_store = ClusteredStore() if self.config.clustered else None
+        self._generator = EntryGenerator(
+            self.encoder,
+            self.config.depth_limit,
+            text_label=self.value_hasher,
+            max_pattern_vertices=self.config.max_pattern_vertices,
+            max_unfolding_opens=self.config.max_unfolding_opens,
+        )
+        self.report = BuildReport(stats=self._generator.stats)
+
+    # ------------------------------------------------------------------ #
+    # Construction (Algorithm 1)
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        store: PrimaryXMLStore,
+        config: FixIndexConfig | None = None,
+    ) -> "FixIndex":
+        """CONSTRUCT-INDEX over every document in ``store``."""
+        index = cls(store, config)
+        started = time.perf_counter()
+        if index.config.clustered:
+            index._build_clustered()
+        else:
+            index._build_unclustered()
+        index.report.seconds = time.perf_counter() - started
+        index.report.btree_bytes = index.btree.size_bytes()
+        if index.clustered_store is not None:
+            index.report.clustered_bytes = index.clustered_store.size_bytes()
+        return index
+
+    def _build_unclustered(self) -> None:
+        for doc_id in self.store.doc_ids():
+            document = self.store.get_document(doc_id)
+            for entry in self._generator.entries_for(document):
+                key = self._encode_key(entry.key)
+                value = NodePointer(doc_id, entry.node_id).pack()
+                self.btree.insert(key, value)
+
+    def _build_clustered(self) -> None:
+        # Clustering requires the copies laid out in key order, so gather
+        # all entries first, sort, then copy + insert sequentially.
+        assert self.clustered_store is not None
+        staged: list[tuple[bytes, int, int]] = []
+        for doc_id in self.store.doc_ids():
+            document = self.store.get_document(doc_id)
+            for entry in self._generator.entries_for(document):
+                staged.append((self._encode_key(entry.key), doc_id, entry.node_id))
+        staged.sort(key=lambda item: item[0])
+        copy_depth = self.config.depth_limit
+        pairs: list[tuple[bytes, bytes]] = []
+        for key, doc_id, node_id in staged:
+            element = self.store.get_document(doc_id).element_at(node_id)
+            record = self.clustered_store.add_unit(element, depth_limit=copy_depth)
+            pairs.append((key, record.pack() + NodePointer(doc_id, node_id).pack()))
+        # The entries are already key-sorted (that is the clustering
+        # contract), so the B-tree can be bulk-loaded bottom-up.
+        self.btree = BPlusTree.bulk_load(pairs)
+
+    def _encode_key(self, key: FeatureKey) -> bytes:
+        return encode_feature_key(key.root_label, key.range.lmax, key.range.lmin)
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def add_document(self, document) -> int:
+        """Store a new document and index it incrementally.
+
+        This is FIX's structural advantage over the clustering indexes
+        the introduction criticizes: a new document only appends its own
+        entries; nothing existing is touched (the shared encoder grows
+        monotonically, so existing keys stay valid).  Only the
+        unclustered variant supports it — the clustered copy store is
+        laid out in global key order and needs a rebuild, matching the
+        paper's positioning of the clustered index as build-once.
+
+        Returns the new ``doc_id``.
+
+        Raises:
+            UnsupportedQueryError: never; ``ReproError`` via
+                :class:`~repro.errors.StorageError` when clustered.
+        """
+        from repro.errors import StorageError
+
+        if self.config.clustered:
+            raise StorageError(
+                "clustered FIX indexes are build-once (the copy store is "
+                "key-ordered); rebuild instead"
+            )
+        doc_id = self.store.add_document(document)
+        for entry in self._generator.entries_for(document):
+            key = self._encode_key(entry.key)
+            self.btree.insert(key, NodePointer(doc_id, entry.node_id).pack())
+        self.report.btree_bytes = self.btree.size_bytes()
+        return doc_id
+
+    def remove_document(self, doc_id: int) -> int:
+        """Remove a document and all of its index entries.
+
+        The document's entries are regenerated (deterministically — same
+        encoder, same memoized classes) to find their keys, then deleted
+        pairwise from the B-tree.  Returns the number of entries removed.
+        """
+        from repro.errors import StorageError
+
+        if self.config.clustered:
+            raise StorageError(
+                "clustered FIX indexes are build-once (the copy store is "
+                "key-ordered); rebuild instead"
+            )
+        document = self.store.get_document(doc_id)
+        # A throwaway generator (sharing the encoder, so keys come out
+        # identical) regenerates this document's entries without
+        # polluting the build statistics.
+        shadow = EntryGenerator(
+            self.encoder,
+            self.config.depth_limit,
+            text_label=self.value_hasher,
+            max_pattern_vertices=self.config.max_pattern_vertices,
+            max_unfolding_opens=self.config.max_unfolding_opens,
+        )
+        removed = 0
+        for entry in shadow.entries_for(document):
+            key = self._encode_key(entry.key)
+            value = NodePointer(doc_id, entry.node_id).pack()
+            if self.btree.delete(key, value):
+                removed += 1
+        self.store.remove_document(doc_id)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Coverage and query features (Algorithm 2, lines 1-5)
+    # ------------------------------------------------------------------ #
+
+    def covers(self, twig: TwigQuery) -> bool:
+        """Can this index answer ``twig`` without false negatives
+        (up to the Theorem 5 caveat of DESIGN.md §5a)?"""
+        if twig.has_values() and self.value_hasher is None:
+            return False
+        if self.config.depth_limit <= 0:
+            return True
+        # A value-extended index truncates patterns at the *extended*
+        # depth (text nodes occupy a level), so value queries must fit
+        # including their literal level.
+        depth = (
+            twig.root.extended_depth() if self.value_hasher else twig.depth()
+        )
+        return depth <= self.config.depth_limit
+
+    def query_features(self, twig: TwigQuery) -> FeatureKey:
+        """The twig pattern's feature key under the index's encoder."""
+        if not twig.is_twig():
+            raise UnsupportedQueryError(
+                "query has interior '//' edges; decompose before feature "
+                "extraction"
+            )
+        pattern = twig.pattern(text_label=self.value_hasher)
+        try:
+            return pattern_features(
+                pattern, self.encoder, max_vertices=self.config.max_pattern_vertices
+            )
+        except PatternTooLargeError:
+            # An absurdly large query: fall back to the always-covered
+            # degenerate range so the scan degrades to a label scan.
+            return FeatureKey(pattern.root.label, FeatureRange(0.0, 0.0))
+
+    # ------------------------------------------------------------------ #
+    # Pruning scan (Algorithm 2, line 6)
+    # ------------------------------------------------------------------ #
+
+    def candidates(self, twig: TwigQuery) -> Iterator[IndexEntry]:
+        """All index entries whose key covers the twig's feature key.
+
+        Raises:
+            IndexCoverageError: when :meth:`covers` is false.
+        """
+        if not self.covers(twig):
+            raise IndexCoverageError(
+                f"index (depth limit {self.config.depth_limit}, values "
+                f"{'on' if self.value_hasher else 'off'}) does not cover "
+                f"query {twig.source or twig.root_label!r} "
+                f"(depth {twig.depth()}, values "
+                f"{'yes' if twig.has_values() else 'no'})"
+            )
+        query_key = self.query_features(twig)
+        # Root-label pruning is only sound when the query root must bind
+        # the unit root.  That is always true for subpattern entries (one
+        # per element, keyed by that element's label) but for whole-
+        # document units it requires a '/'-anchored query; a '//' query
+        # can match anywhere inside a unit whose root label is unrelated,
+        # so only λ-range containment prunes (the paper's own Section 5
+        # collection discussion uses range containment alone).
+        anchored = self.config.depth_limit > 0 or twig.leading_axis is Axis.CHILD
+        yield from self.candidates_for_key(query_key, anchored=anchored)
+
+    def candidates_for_key(
+        self, query_key: FeatureKey, anchored: bool = True
+    ) -> Iterator[IndexEntry]:
+        """Pruning scan for a precomputed feature key.
+
+        ``anchored=False`` drops the root-label condition and scans every
+        label's range (collection-mode ``//`` queries).
+        """
+        guard = self.config.guard_band
+        if anchored:
+            label = query_key.root_label
+            start = encode_feature_key(
+                label, query_key.range.lmax - guard, float("-inf")
+            )
+            end = label_upper_bound(label)
+        else:
+            start = None
+            end = None
+        for raw_key, raw_value in self.btree.scan(start=start, end=end):
+            stored_label, lmax, lmin = decode_feature_key(raw_key)
+            if lmax < query_key.range.lmax - guard:
+                continue  # only reachable in unanchored scans
+            if lmin > query_key.range.lmin + guard:
+                continue  # λ_min not contained
+            key = FeatureKey(stored_label, FeatureRange(lmin, lmax))
+            yield self._decode_entry(key, raw_value)
+
+    def _decode_entry(self, key: FeatureKey, raw_value: bytes) -> IndexEntry:
+        if self.config.clustered:
+            record = RecordPointer.unpack(raw_value[:8])
+            pointer = NodePointer.unpack(raw_value[8:16])
+            return IndexEntry(key, pointer, record)
+        return IndexEntry(key, NodePointer.unpack(raw_value))
+
+    # ------------------------------------------------------------------ #
+    # Measurements
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entry_count(self) -> int:
+        """Total entries — the ``ent`` of the Section 6.2 metrics."""
+        return len(self.btree)
+
+    def size_bytes(self) -> int:
+        """B-tree footprint (the ``|UIdx|`` column of Table 1)."""
+        return self.btree.size_bytes()
+
+    def total_size_bytes(self) -> int:
+        """B-tree plus clustered copies (``|CIdx|``)."""
+        total = self.btree.size_bytes()
+        if self.clustered_store is not None:
+            total += self.clustered_store.size_bytes()
+        return total
+
+    def iter_entries(self) -> Iterator[IndexEntry]:
+        """Every entry in key order (for stats and histograms)."""
+        for raw_key, raw_value in self.btree.items():
+            label, lmax, lmin = decode_feature_key(raw_key)
+            key = FeatureKey(label, FeatureRange(lmin, lmax))
+            yield self._decode_entry(key, raw_value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "clustered" if self.config.clustered else "unclustered"
+        values = f", beta={self.config.value_buckets}" if self.value_hasher else ""
+        return (
+            f"FixIndex({kind}, depth_limit={self.config.depth_limit}, "
+            f"entries={self.entry_count}{values})"
+        )

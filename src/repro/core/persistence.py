@@ -1,0 +1,124 @@
+"""Index persistence: save a built :class:`FixIndex` to a directory and
+reattach to it later.
+
+Layout of an index directory::
+
+    meta.json        # config, encoder, B-tree root/entry count, report
+    btree.pages      # the B+tree, one page per node
+    clustered.pages  # the key-ordered unit copies (clustered indexes only)
+
+The primary store is *not* part of the index (same as the paper's
+unclustered design: the index references primary storage, it does not
+own it), so :func:`load_index` takes the store as an argument.  Feature
+keys remain valid across processes because the edge-label encoder and
+the CRC-based value hash are both persisted/deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.btree import BPlusTree
+from repro.core.index import FixIndex, FixIndexConfig
+from repro.errors import StorageError
+from repro.spectral import EdgeLabelEncoder
+from repro.storage import ClusteredStore, Pager, PrimaryXMLStore
+
+_META_FILE = "meta.json"
+_BTREE_FILE = "btree.pages"
+_CLUSTERED_FILE = "clustered.pages"
+_FORMAT_VERSION = 1
+
+
+def save_index(index: FixIndex, directory: str) -> None:
+    """Persist ``index`` into ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    index.btree.flush()
+    index.btree.pager.copy_to(os.path.join(directory, _BTREE_FILE))
+    clustered_units = 0
+    if index.clustered_store is not None:
+        index.clustered_store.pager.copy_to(
+            os.path.join(directory, _CLUSTERED_FILE)
+        )
+        clustered_units = index.clustered_store.unit_count
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            "depth_limit": index.config.depth_limit,
+            "clustered": index.config.clustered,
+            "value_buckets": index.config.value_buckets,
+            "max_pattern_vertices": index.config.max_pattern_vertices,
+            "max_unfolding_opens": index.config.max_unfolding_opens,
+            "guard_band": index.config.guard_band,
+        },
+        "encoder": index.encoder.to_dict(),
+        "btree": {
+            "root_page": index.btree.root_page,
+            "entry_count": len(index.btree),
+            "page_size": index.btree.pager.page_size,
+        },
+        "clustered_units": clustered_units,
+        "report": {
+            "seconds": index.report.seconds,
+            "entries": index.report.stats.entries,
+            "oversized_patterns": index.report.stats.oversized_patterns,
+        },
+    }
+    with open(os.path.join(directory, _META_FILE), "w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
+    """Reattach to an index previously saved with :func:`save_index`.
+
+    Args:
+        directory: the saved index directory.
+        store: the primary store the index was built over.  The caller is
+            responsible for it containing the same documents; entries
+            point into it by ``(doc_id, node_id)``.
+
+    Raises:
+        StorageError: missing/unreadable directory or format mismatch.
+    """
+    meta_path = os.path.join(directory, _META_FILE)
+    try:
+        with open(meta_path, encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except FileNotFoundError as exc:
+        raise StorageError(f"no saved index at {directory!r}") from exc
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt index metadata at {meta_path!r}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise StorageError(
+            f"index format version {meta.get('format_version')} is not "
+            f"supported (expected {_FORMAT_VERSION})"
+        )
+
+    config = FixIndexConfig(**meta["config"])
+    index = FixIndex(store, config)
+    index.encoder = EdgeLabelEncoder.from_dict(meta["encoder"])
+    index._generator.encoder = index.encoder
+
+    btree_meta = meta["btree"]
+    pager = Pager(
+        os.path.join(directory, _BTREE_FILE),
+        page_size=btree_meta["page_size"],
+    )
+    index.btree = BPlusTree.open(
+        pager, btree_meta["root_page"], btree_meta["entry_count"]
+    )
+    if config.clustered:
+        clustered_path = os.path.join(directory, _CLUSTERED_FILE)
+        if not os.path.exists(clustered_path):
+            raise StorageError(
+                f"clustered index at {directory!r} is missing its copy pages"
+            )
+        index.clustered_store = ClusteredStore(
+            Pager(clustered_path), preloaded_units=meta["clustered_units"]
+        )
+    index.report.seconds = meta["report"]["seconds"]
+    index.report.stats.entries = meta["report"]["entries"]
+    index.report.stats.oversized_patterns = meta["report"]["oversized_patterns"]
+    index.report.btree_bytes = index.btree.size_bytes()
+    return index

@@ -1,0 +1,164 @@
+"""Two-phase query processing (Algorithm 2).
+
+Phase 1 — *pruning*: the query's twig pattern is converted to features
+and the B-tree range-scanned for covering entries (handled by
+:meth:`FixIndex.candidates`).  General path expressions with interior
+``//`` are decomposed (Section 5): with a collection index every
+fragment prunes and candidate sets intersect; with a depth-limited index
+only the top fragment prunes.
+
+Phase 2 — *refinement*: each candidate is validated by a navigational
+engine.  The leading ``//`` is rewritten to ``/`` for depth-limited
+indexes (every descendant of an indexed pattern instance is itself
+indexed, so each candidate only answers for its own root — Algorithm 2,
+lines 7-8).  Clustered candidates refine against their copy when the
+query fits inside the copy's depth horizon, falling back to primary
+storage for decomposed queries whose fragments may match deeper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.index import FixIndex, IndexEntry
+from repro.engine.navigational import NavigationalEngine
+from repro.engine.structural_join import StructuralJoinEngine
+from repro.query.ast import Axis
+from repro.query.decompose import decompose
+from repro.query.twig import TwigQuery, twig_of
+from repro.storage import NodePointer
+
+
+@dataclass
+class FixQueryResult:
+    """Outcome of one two-phase evaluation."""
+
+    #: pointers whose refinement succeeded (the final answer).
+    results: list[NodePointer] = field(default_factory=list)
+    #: how many candidates the pruning phase produced (``cdt``).
+    candidate_count: int = 0
+    #: wall-clock split, seconds.
+    prune_seconds: float = 0.0
+    refine_seconds: float = 0.0
+
+    @property
+    def result_count(self) -> int:
+        """Number of surviving candidates (``rst`` when results are units)."""
+        return len(self.results)
+
+    @property
+    def false_positive_count(self) -> int:
+        """Candidates the refinement rejected."""
+        return self.candidate_count - len(self.results)
+
+
+class FixQueryProcessor:
+    """INDEX-PROCESSOR: pruning + refinement over one :class:`FixIndex`.
+
+    The refinement operator is pluggable — the paper's point that FIX
+    "can be coupled with any path processing operator that can perform
+    query refinement".  Both shipped engines satisfy the contract
+    (``refine``, ``refine_pointer``, ``evaluate_document``); the
+    navigational one is the default, matching the paper's NoK pairing.
+    """
+
+    def __init__(
+        self,
+        index: FixIndex,
+        refiner: NavigationalEngine | StructuralJoinEngine | None = None,
+    ) -> None:
+        self.index = index
+        self.refiner = refiner or NavigationalEngine(index.store)
+
+    # ------------------------------------------------------------------ #
+    # Pruning phase
+    # ------------------------------------------------------------------ #
+
+    def prune(self, query: TwigQuery | str) -> list[IndexEntry]:
+        """Candidate entries for ``query`` (Section 5 decomposition rules
+        applied), in index-key order."""
+        twig = query if isinstance(query, TwigQuery) else twig_of(query)
+        fragments = decompose(twig)
+        top = fragments[0]
+        if self.index.config.depth_limit > 0 or len(fragments) == 1:
+            # Depth-limited index: only the top twig prunes (descendant
+            # fragments can match below the indexed horizon).
+            return list(self.index.candidates(top))
+        # Collection index: every fragment prunes; a candidate document
+        # must be covered by all of them.
+        surviving: dict[NodePointer, IndexEntry] | None = None
+        for fragment in fragments:
+            hits = {
+                entry.pointer: entry for entry in self.index.candidates(fragment)
+            }
+            if surviving is None:
+                surviving = hits
+            else:
+                surviving = {
+                    pointer: entry
+                    for pointer, entry in surviving.items()
+                    if pointer in hits
+                }
+            if not surviving:
+                return []
+        assert surviving is not None
+        return sorted(surviving.values(), key=lambda entry: entry.pointer)
+
+    # ------------------------------------------------------------------ #
+    # Full pipeline
+    # ------------------------------------------------------------------ #
+
+    def query(self, query: TwigQuery | str) -> FixQueryResult:
+        """Run both phases and return the validated result pointers."""
+        twig = query if isinstance(query, TwigQuery) else twig_of(query)
+        result = FixQueryResult()
+        started = time.perf_counter()
+        candidates = self.prune(twig)
+        result.prune_seconds = time.perf_counter() - started
+        result.candidate_count = len(candidates)
+
+        refined = twig
+        if self.index.config.depth_limit > 0:
+            if twig.leading_axis is Axis.DESCENDANT:
+                refined = twig.with_child_leading_axis()
+            else:
+                # A '/'-rooted query can only bind the document root, but
+                # subpattern entries exist for *every* element; discard
+                # non-root candidates before refinement.
+                candidates = [
+                    entry for entry in candidates if entry.pointer.node_id == 0
+                ]
+                result.candidate_count = len(candidates)
+
+        started = time.perf_counter()
+        for entry in candidates:
+            if self._refine_entry(refined, entry):
+                result.results.append(entry.pointer)
+        result.refine_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Refinement phase
+    # ------------------------------------------------------------------ #
+
+    def _refine_entry(self, twig: TwigQuery, entry: IndexEntry) -> bool:
+        if entry.record is not None and self._copy_suffices(twig):
+            assert self.index.clustered_store is not None
+            unit = self.index.clustered_store.get_unit(entry.record)
+            if twig.leading_axis is Axis.CHILD:
+                return self.refiner.refine(twig, unit.root)
+            return bool(self.refiner.evaluate_document(twig, unit))
+        # Unclustered (or horizon-escaping): follow the pointer into the
+        # primary store.
+        if twig.leading_axis is Axis.CHILD:
+            return self.refiner.refine_pointer(twig, entry.pointer)
+        document = self.index.store.get_document(entry.pointer.doc_id)
+        return bool(self.refiner.evaluate_document(twig, document))
+
+    def _copy_suffices(self, twig: TwigQuery) -> bool:
+        """A clustered copy holds the unit down to the index depth limit;
+        it answers the query alone iff the query cannot reach deeper."""
+        if self.index.config.depth_limit <= 0:
+            return True  # whole-unit copies
+        return twig.is_twig() and twig.depth() <= self.index.config.depth_limit

@@ -1,0 +1,48 @@
+"""Value-to-label hashing (Section 4.6).
+
+PCDATA has an unbounded domain, so before values participate in the
+structural index each text value is hashed into a small domain of β
+buckets; the bucket becomes the text node's label.  Smaller β keeps the
+bisimulation graphs (and hence the B-tree) small but hashes more values
+together (more false positives); larger β does the opposite — the
+trade-off :mod:`benchmarks.bench_ablation_beta` sweeps.
+
+The hash must be *stable across processes* (the index outlives the
+construction run), so it is CRC-32, not Python's salted ``hash``.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: Prefix marking value labels.  It cannot collide with element tags
+#: because "#" is not a NameStartChar in XML.
+VALUE_LABEL_PREFIX = "#v"
+
+
+class ValueHasher:
+    """Map text values into ``β`` stable label buckets."""
+
+    def __init__(self, buckets: int) -> None:
+        if buckets < 1:
+            raise ValueError(f"need at least 1 bucket, got {buckets}")
+        self.buckets = buckets
+
+    def __call__(self, value: str) -> str:
+        """The hashed label of ``value``."""
+        bucket = zlib.crc32(value.encode("utf-8")) % self.buckets
+        return f"{VALUE_LABEL_PREFIX}{bucket}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueHasher) and other.buckets == self.buckets
+
+    def __hash__(self) -> int:  # pragma: no cover - trivial
+        return hash((ValueHasher, self.buckets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueHasher(buckets={self.buckets})"
+
+
+def is_value_label(label: str) -> bool:
+    """True for labels produced by a :class:`ValueHasher`."""
+    return label.startswith(VALUE_LABEL_PREFIX)

@@ -1,0 +1,71 @@
+"""Synthetic data sets (Section 6.1 substitutes).
+
+The paper evaluates on XBench TCMD, DBLP, XMark, and Treebank.  None of
+those files ship here (no network, and Treebank is licensed), so each
+generator reproduces the *structural character* the paper relies on —
+the properties its Section 6.1 explicitly calls out:
+
+======== ================================================================
+XBench   many small text-centric documents, small structural variation
+DBLP     one large, very regular, shallow document; patterns repeat a lot
+         (low per-pattern selectivity); real-looking values
+XMark    structure-rich, fairly deep, very flat (bushy) — low repetition
+Treebank highly recursive, very deep, highly selective structures
+======== ================================================================
+
+All generators are deterministic under a seed, scale with a single size
+knob, and return parsed :class:`~repro.xmltree.model.Document` objects;
+:func:`load_dataset` is the registry the benchmarks drive.
+"""
+
+from repro.datasets.base import DatasetBundle, WordPool, store_of
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.queries import RandomQueryGenerator
+from repro.datasets.treebank import generate_treebank
+from repro.datasets.xbench import generate_xbench_tcmd
+from repro.datasets.xmark import generate_xmark
+
+_GENERATORS = {
+    "xbench": generate_xbench_tcmd,
+    "dblp": generate_dblp,
+    "xmark": generate_xmark,
+    "treebank": generate_treebank,
+}
+
+
+def dataset_names() -> list[str]:
+    """The four data-set names, in the paper's Table 1 order."""
+    return ["xbench", "dblp", "xmark", "treebank"]
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 42) -> DatasetBundle:
+    """Generate a data set by name.
+
+    Args:
+        name: one of :func:`dataset_names`.
+        scale: size multiplier; 1.0 is the benchmark default (tens of
+            thousands of elements — laptop-sized, not the paper's full
+            multi-million-element originals).
+        seed: RNG seed; equal seeds give identical bytes.
+    """
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; choose from {sorted(_GENERATORS)}"
+        ) from None
+    return generator(scale=scale, seed=seed)
+
+
+__all__ = [
+    "DatasetBundle",
+    "RandomQueryGenerator",
+    "WordPool",
+    "dataset_names",
+    "generate_dblp",
+    "generate_treebank",
+    "generate_xbench_tcmd",
+    "generate_xmark",
+    "load_dataset",
+    "store_of",
+]

@@ -1,0 +1,93 @@
+"""Shared machinery for the synthetic data-set generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, serialize_fragment
+
+#: A small English-ish vocabulary for text-centric content.  Real words
+#: keep serialized sizes and value distributions plausible without
+#: shipping any corpus.
+_VOCABULARY = (
+    "data index query tree graph node edge label path pattern match "
+    "system database structure document element feature spectral value "
+    "storage search candidate result join scan page record stream event "
+    "model engine prune refine depth branch twig order key range hash "
+    "cluster vector matrix theory proof bound cost time space plan"
+).split()
+
+
+class WordPool:
+    """Deterministic word and sentence supplier."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def word(self) -> str:
+        return self._rng.choice(_VOCABULARY)
+
+    def words(self, count: int) -> str:
+        return " ".join(self.word() for _ in range(count))
+
+    def sentence(self, lo: int = 4, hi: int = 12) -> str:
+        return self.words(self._rng.randint(lo, hi))
+
+    def name(self) -> str:
+        first = self.word().capitalize()
+        last = self.word().capitalize()
+        return f"{first} {last}"
+
+    def year(self, lo: int = 1990, hi: int = 2005) -> str:
+        return str(self._rng.randint(lo, hi))
+
+
+@dataclass
+class DatasetBundle:
+    """A generated data set plus its summary statistics."""
+
+    name: str
+    documents: list[Document]
+    #: suggested index depth limit (paper: 0 for XBench, 6 otherwise).
+    depth_limit: int
+    description: str = ""
+    seed: int = 0
+    scale: float = 1.0
+
+    _size_bytes: int | None = field(default=None, repr=False)
+
+    def element_count(self) -> int:
+        """Total elements across all documents."""
+        return sum(document.element_count() for document in self.documents)
+
+    def size_bytes(self) -> int:
+        """Serialized size of the whole data set (cached)."""
+        if self._size_bytes is None:
+            self._size_bytes = sum(
+                len(serialize_fragment(document.root).encode("utf-8"))
+                for document in self.documents
+            )
+        return self._size_bytes
+
+    def max_depth(self) -> int:
+        """Deepest element across all documents."""
+        return max(document.max_depth() for document in self.documents)
+
+    def store(self) -> PrimaryXMLStore:
+        """Load the documents into a fresh primary store."""
+        return store_of(self.documents)
+
+
+def store_of(documents: list[Document]) -> PrimaryXMLStore:
+    """Load ``documents`` into a fresh :class:`PrimaryXMLStore`."""
+    store = PrimaryXMLStore()
+    for document in documents:
+        store.add_document(document)
+    return store
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    """``base * scale`` rounded, floored at ``minimum``."""
+    return max(minimum, round(base * scale))

@@ -1,0 +1,149 @@
+"""DBLP-like single large document: regular, shallow, highly repetitive.
+
+The paper's characterization (Section 6.1): "The structure in DBLP is
+very regular and the tree is shallow, so the same structure is repeated
+many times, making each structural pattern less selective."  It is also
+the one data set with real values, which is why Figure 7's value-index
+experiments run on it.
+
+Schema (driven by the paper's DBLP queries)::
+
+    dblp
+      (article | inproceedings | proceedings | book)*
+        article:        author+, title(i?, sub?, sup?), year, number?, url?, ee?
+        inproceedings:  author+, title(i?, sub?, sup?), year, booktitle, url?, ee?, pages?
+        proceedings:    editor*, title(i?, sub?, sup?), booktitle?, year,
+                        publisher, isbn?, url?
+        book:           author+, title, year, publisher, isbn?
+
+``title`` optionally carries ``i`` / ``sub`` / ``sup`` markup children —
+the paper's hi-selectivity DBLP queries (``//inproceedings[url]/
+title[sub][i]``) live exactly on those rare combinations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import DatasetBundle, WordPool, scaled
+from repro.xmltree import Document, Element
+
+PUBLISHERS = ["Springer", "ACM", "IEEE", "Elsevier", "Morgan Kaufmann", "MIT Press"]
+
+
+def generate_dblp(scale: float = 1.0, seed: int = 42) -> DatasetBundle:
+    """Generate the DBLP-like document.
+
+    ``scale=1.0`` yields ~3,500 publication records (~25k elements — the
+    real DBLP's 4M elements shrunk to laptop size with the same mix).
+    """
+    rng = random.Random(seed)
+    words = WordPool(rng)
+    dblp = Element("dblp")
+    publications = scaled(3500, scale)
+    makers = [
+        (_article, 0.35),
+        (_inproceedings, 0.40),
+        (_proceedings, 0.15),
+        (_book, 0.10),
+    ]
+    for _ in range(publications):
+        roll = rng.random()
+        cumulative = 0.0
+        for maker, weight in makers:
+            cumulative += weight
+            if roll < cumulative:
+                dblp.append(maker(rng, words))
+                break
+    document = Document(dblp)
+    return DatasetBundle(
+        name="dblp",
+        documents=[document],
+        depth_limit=6,
+        description=(
+            f"DBLP-like single document: {publications} publication "
+            "records, regular and shallow, with real-looking values"
+        ),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def _title(rng: random.Random, words: WordPool, markup_rate: float) -> Element:
+    title = Element("title")
+    title.add_text(words.sentence(3, 9))
+    # Markup children are individually uncommon and jointly rare, which
+    # is what makes [sub][i]-style predicates highly selective.
+    if rng.random() < markup_rate:
+        title.add_element("i").add_text(words.word())
+    if rng.random() < markup_rate * 0.5:
+        title.add_element("sub").add_text(words.word())
+    if rng.random() < markup_rate * 0.4:
+        title.add_element("sup").add_text(words.word())
+    return title
+
+
+def _authors(parent: Element, rng: random.Random, words: WordPool) -> None:
+    for _ in range(rng.randint(1, 3)):
+        parent.add_element("author").add_text(words.name())
+
+
+def _article(rng: random.Random, words: WordPool) -> Element:
+    article = Element("article")
+    _authors(article, rng, words)
+    article.append(_title(rng, words, markup_rate=0.08))
+    article.add_element("year").add_text(words.year())
+    if rng.random() < 0.5:
+        article.add_element("number").add_text(str(rng.randint(1, 12)))
+    if rng.random() < 0.6:
+        article.add_element("url").add_text(f"db/journals/{words.word()}")
+    if rng.random() < 0.5:
+        article.add_element("ee").add_text(f"https://doi.org/{rng.randint(10, 99)}")
+    return article
+
+
+def _inproceedings(rng: random.Random, words: WordPool) -> Element:
+    paper = Element("inproceedings")
+    _authors(paper, rng, words)
+    paper.append(_title(rng, words, markup_rate=0.10))
+    paper.add_element("year").add_text(words.year())
+    paper.add_element("booktitle").add_text(words.word().upper())
+    if rng.random() < 0.7:
+        paper.add_element("url").add_text(f"db/conf/{words.word()}")
+    if rng.random() < 0.4:
+        paper.add_element("ee").add_text(f"https://doi.org/{rng.randint(10, 99)}")
+    if rng.random() < 0.6:
+        start = rng.randint(1, 500)
+        paper.add_element("pages").add_text(f"{start}-{start + rng.randint(5, 20)}")
+    return paper
+
+
+def _proceedings(rng: random.Random, words: WordPool) -> Element:
+    volume = Element("proceedings")
+    for _ in range(rng.randint(0, 3)):
+        volume.add_element("editor").add_text(words.name())
+    volume.append(_title(rng, words, markup_rate=0.12))
+    if rng.random() < 0.8:
+        volume.add_element("booktitle").add_text(words.word().upper())
+    volume.add_element("year").add_text(words.year())
+    volume.add_element("publisher").add_text(rng.choice(PUBLISHERS))
+    if rng.random() < 0.5:
+        volume.add_element("isbn").add_text(
+            f"{rng.randint(0, 9)}-{rng.randint(100, 999)}-{rng.randint(10000, 99999)}"
+        )
+    if rng.random() < 0.5:
+        volume.add_element("url").add_text(f"db/conf/{words.word()}")
+    return volume
+
+
+def _book(rng: random.Random, words: WordPool) -> Element:
+    book = Element("book")
+    _authors(book, rng, words)
+    book.append(_title(rng, words, markup_rate=0.05))
+    book.add_element("year").add_text(words.year())
+    book.add_element("publisher").add_text(rng.choice(PUBLISHERS))
+    if rng.random() < 0.6:
+        book.add_element("isbn").add_text(
+            f"{rng.randint(0, 9)}-{rng.randint(100, 999)}-{rng.randint(10000, 99999)}"
+        )
+    return book

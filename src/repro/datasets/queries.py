@@ -1,0 +1,172 @@
+"""Random twig-query generation (Section 6.2's 1000-query batches).
+
+Queries are sampled *from the data*: a random element anchors a random
+upward walk (giving a path that certainly occurs at least once), child
+labels of on-path elements become optional branching predicates, and a
+configurable fraction of queries get one label mutated so the batch also
+contains misses.  The paper then drops queries of selectivity exactly 0
+or 1; :meth:`RandomQueryGenerator.batch` applies the same filter using
+the ground-truth matcher.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.query.ast import Axis
+from repro.query.twig import QueryNode, TwigQuery
+from repro.xmltree import Document, Element
+
+
+@dataclass(frozen=True, slots=True)
+class GeneratedQuery:
+    """A generated query plus the generator's bookkeeping."""
+
+    twig: TwigQuery
+    text: str
+    mutated: bool
+
+
+class RandomQueryGenerator:
+    """Draw random twig queries from a document collection.
+
+    Args:
+        documents: the data to sample from.
+        seed: RNG seed.
+        max_path_length: maximum main-path steps.
+        max_predicates: maximum branching predicates added.
+        mutation_rate: fraction of queries that get one label replaced
+            with a fresh one (guaranteed misses exercise pruning).
+    """
+
+    def __init__(
+        self,
+        documents: list[Document],
+        seed: int = 42,
+        max_path_length: int = 4,
+        max_predicates: int = 2,
+        mutation_rate: float = 0.1,
+    ) -> None:
+        if not documents:
+            raise ValueError("need at least one document to sample queries from")
+        self._documents = documents
+        self._rng = random.Random(seed)
+        self._max_path_length = max(1, max_path_length)
+        self._max_predicates = max(0, max_predicates)
+        self._mutation_rate = mutation_rate
+        # Flat element pool for uniform sampling.
+        self._pool: list[Element] = [
+            element
+            for document in documents
+            for element in document.elements()
+        ]
+        self._labels = sorted({element.tag for element in self._pool})
+
+    # ------------------------------------------------------------------ #
+    # Single-query generation
+    # ------------------------------------------------------------------ #
+
+    def generate(self) -> GeneratedQuery:
+        """Draw one random twig query (always parseable, always a twig)."""
+        anchor = self._rng.choice(self._pool)
+        length = self._rng.randint(1, self._max_path_length)
+        # Walk upward from the anchor to get a guaranteed-occurring path.
+        path: list[Element] = [anchor]
+        while len(path) < length and path[-1].parent is not None:
+            path.append(path[-1].parent)
+        path.reverse()  # now top-down
+
+        root = QueryNode(path[0].tag)
+        chain = [root]
+        for element in path[1:]:
+            node = QueryNode(element.tag)
+            chain[-1].edges.append((Axis.CHILD, node))
+            chain.append(node)
+
+        # Sprinkle predicates: child labels of on-path elements.
+        budget = self._rng.randint(0, self._max_predicates)
+        for _ in range(budget):
+            position = self._rng.randrange(len(path))
+            child_labels = [c.tag for c in path[position].child_elements()]
+            if not child_labels:
+                continue
+            label = self._rng.choice(child_labels)
+            on_path = [
+                child.label
+                for axis, child in chain[position].edges
+                if axis is Axis.CHILD
+            ]
+            if label in on_path:
+                continue
+            chain[position].edges.append((Axis.CHILD, QueryNode(label)))
+
+        mutated = False
+        if self._rng.random() < self._mutation_rate:
+            mutated = self._mutate(root)
+
+        twig = TwigQuery(root, Axis.DESCENDANT)
+        text = _render(twig)
+        twig.source = text
+        return GeneratedQuery(twig, text, mutated)
+
+    def _mutate(self, root: QueryNode) -> bool:
+        """Replace one random node's label with a random data label."""
+        nodes: list[QueryNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            stack.extend(child for _, child in node.edges)
+        victim = self._rng.choice(nodes)
+        replacement = self._rng.choice(self._labels)
+        if replacement == victim.label:
+            return False
+        victim.label = replacement
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Batches with the paper's selectivity filter
+    # ------------------------------------------------------------------ #
+
+    def batch(
+        self,
+        count: int,
+        keep: "callable | None" = None,
+        max_attempts_factor: int = 20,
+    ) -> list[GeneratedQuery]:
+        """Generate ``count`` queries, keeping only those ``keep`` accepts.
+
+        ``keep`` receives the :class:`GeneratedQuery` and returns a bool;
+        the paper's filter (selectivity not 0 and not 1) is applied by
+        the caller via this hook, since selectivity needs the index.
+        """
+        kept: list[GeneratedQuery] = []
+        attempts = 0
+        limit = count * max_attempts_factor
+        while len(kept) < count and attempts < limit:
+            attempts += 1
+            candidate = self.generate()
+            if keep is None or keep(candidate):
+                kept.append(candidate)
+        return kept
+
+
+def _render(twig: TwigQuery) -> str:
+    """Render a generated twig back to query text."""
+    parts: list[str] = []
+
+    def node_text(node: QueryNode) -> str:
+        text = node.label
+        branches = [child for _, child in node.edges]
+        if not branches:
+            return text
+        # Last child continues the main path; earlier ones are predicates.
+        *predicates, continuation = branches
+        for predicate in predicates:
+            text += f"[{node_text(predicate)}]"
+        return f"{text}/{node_text(continuation)}"
+
+    parts.append("//" if twig.leading_axis is Axis.DESCENDANT else "/")
+    parts.append(node_text(twig.root))
+    return "".join(parts)

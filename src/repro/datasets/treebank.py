@@ -1,0 +1,120 @@
+"""Treebank-like document: highly recursive, very deep, very selective.
+
+The real Treebank (Penn Treebank parse trees encoded as XML) is the
+paper's stress case: deeply recursive grammar structure whose F&B graph
+has >300k vertices.  The generator expands a small probabilistic
+phrase-structure grammar — S, NP, VP, PP and friends, plus the
+``EMPTY`` wrapper elements the paper's Treebank queries start from
+(``//EMPTY/S[VP]/NP``) — with recursion that regularly nests S inside
+SBAR inside VP inside S, producing deep, rarely-repeating structures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import DatasetBundle, WordPool, scaled
+from repro.xmltree import Document, Element
+
+# Production rules: tag -> list of (child tag sequences, weight).  The
+# special child "*leaf*" emits a masked-out token (real Treebank ships
+# with the words elided, which is also why the paper treats it as pure
+# structure).
+_GRAMMAR: dict[str, list[tuple[tuple[str, ...], float]]] = {
+    "S": [
+        (("NP", "VP"), 0.5),
+        (("NP", "VP", "PP"), 0.2),
+        (("PP", "NP", "VP"), 0.1),
+        (("S", "CC", "S"), 0.08),
+        (("NP",), 0.07),
+        (("VP",), 0.05),
+    ],
+    "NP": [
+        (("DT", "NN"), 0.32),
+        (("NP", "PP"), 0.22),
+        (("NNP",), 0.14),
+        (("PRP",), 0.1),
+        (("DT", "JJ", "NN"), 0.12),
+        (("NP", "SBAR"), 0.06),
+        (("NP", "NP"), 0.04),
+    ],
+    "VP": [
+        (("VBD", "NP"), 0.4),
+        (("VBD", "NP", "PP"), 0.2),
+        (("VBD", "SBAR"), 0.12),
+        (("VBD",), 0.12),
+        (("VBD", "PP"), 0.16),
+    ],
+    "PP": [
+        (("IN", "NP"), 0.9),
+        (("IN", "S"), 0.1),
+    ],
+    "SBAR": [
+        (("IN", "S"), 0.6),
+        (("WHNP", "S"), 0.4),
+    ],
+}
+
+_TERMINALS = {"DT", "NN", "NNP", "PRP", "JJ", "VBD", "IN", "CC", "WHNP"}
+
+
+def generate_treebank(scale: float = 1.0, seed: int = 42) -> DatasetBundle:
+    """Generate the Treebank-like document.
+
+    ``scale=1.0`` yields ~1,100 sentences (~20k elements) with depths
+    regularly past 15 levels.
+    """
+    rng = random.Random(seed)
+    words = WordPool(rng)
+    root = Element("FILE")
+    sentences = scaled(1100, scale)
+    for _ in range(sentences):
+        empty = root.add_element("EMPTY")
+        empty.append(_expand("S", rng, words, depth=3, max_depth=16))
+    document = Document(root)
+    return DatasetBundle(
+        name="treebank",
+        documents=[document],
+        depth_limit=6,
+        description=(
+            f"Treebank-like parse forest: {sentences} sentences, deeply "
+            f"recursive (max depth {document.max_depth()})"
+        ),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def _expand(
+    tag: str,
+    rng: random.Random,
+    words: WordPool,
+    depth: int,
+    max_depth: int,
+) -> Element:
+    element = Element(tag)
+    if tag in _TERMINALS:
+        element.add_text(words.word())
+        return element
+    productions = _GRAMMAR[tag]
+    if depth >= max_depth:
+        # Force a non-recursive expansion: pick the production whose
+        # children are all terminals, if any; else emit a terminal child.
+        for children, _ in productions:
+            if all(child in _TERMINALS for child in children):
+                for child in children:
+                    element.append(_expand(child, rng, words, depth + 1, max_depth))
+                return element
+        element.add_element("NN").add_text(words.word())
+        return element
+    roll = rng.random()
+    cumulative = 0.0
+    chosen = productions[-1][0]
+    for children, weight in productions:
+        cumulative += weight
+        if roll < cumulative:
+            chosen = children
+            break
+    for child in chosen:
+        element.append(_expand(child, rng, words, depth + 1, max_depth))
+    return element

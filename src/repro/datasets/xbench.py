@@ -1,0 +1,114 @@
+"""XBench TCMD-like collection: many small text-centric documents.
+
+The real TCMD set (2,607 documents, 1-130 KB) models news-corpus
+articles; its defining property for the FIX evaluation is that "the
+document structures have small degree of variations, e.g., an article
+element may or may not have a keywords subelement" — which is exactly
+why structural pruning is weak there (Figure 5's TCMD bars).
+
+Each generated document follows the schema the paper's TCMD queries
+exercise::
+
+    article
+      prolog
+        title, dateline?, authors(author+(name, contact(phone?, email?))),
+        keywords?(keyword+), genre?
+      body
+        abstract?, section+(title?, p+)
+      epilog?
+        acknoledgements?          # [sic] — the paper's query spells it so
+        references?(a_id+)
+
+Optional parts flip per document, giving a handful of distinct shapes
+over the whole collection.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import DatasetBundle, WordPool, scaled
+from repro.xmltree import Document, Element
+
+
+def generate_xbench_tcmd(scale: float = 1.0, seed: int = 42) -> DatasetBundle:
+    """Generate the TCMD-like collection.
+
+    ``scale=1.0`` yields 260 documents (a tenth of the original count,
+    with the same shape distribution).
+    """
+    rng = random.Random(seed)
+    words = WordPool(rng)
+    count = scaled(260, scale)
+    documents = [
+        Document(_article(rng, words), doc_id=i) for i in range(count)
+    ]
+    return DatasetBundle(
+        name="xbench",
+        documents=documents,
+        depth_limit=0,
+        description=(
+            f"XBench TCMD-like collection: {count} small text-centric "
+            "article documents with low structural variation"
+        ),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def _article(rng: random.Random, words: WordPool) -> Element:
+    article = Element("article")
+    article.append(_prolog(rng, words))
+    article.append(_body(rng, words))
+    if rng.random() < 0.7:
+        article.append(_epilog(rng, words))
+    return article
+
+
+def _prolog(rng: random.Random, words: WordPool) -> Element:
+    prolog = Element("prolog")
+    prolog.add_element("title").add_text(words.sentence(3, 8))
+    if rng.random() < 0.5:
+        prolog.add_element("dateline").add_text(words.year(1996, 2004))
+    authors = prolog.add_element("authors")
+    for _ in range(rng.randint(1, 4)):
+        author = authors.add_element("author")
+        author.add_element("name").add_text(words.name())
+        contact = author.add_element("contact")
+        if rng.random() < 0.6:
+            contact.add_element("phone").add_text(
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+            )
+        if rng.random() < 0.8:
+            contact.add_element("email").add_text(f"{words.word()}@example.org")
+    if rng.random() < 0.55:
+        keywords = prolog.add_element("keywords")
+        for _ in range(rng.randint(1, 5)):
+            keywords.add_element("keyword").add_text(words.word())
+    if rng.random() < 0.3:
+        prolog.add_element("genre").add_text(words.word())
+    return prolog
+
+
+def _body(rng: random.Random, words: WordPool) -> Element:
+    body = Element("body")
+    if rng.random() < 0.4:
+        body.add_element("abstract").add_text(words.sentence(8, 20))
+    for _ in range(rng.randint(1, 5)):
+        section = body.add_element("section")
+        if rng.random() < 0.6:
+            section.add_element("title").add_text(words.sentence(2, 5))
+        for _ in range(rng.randint(1, 4)):
+            section.add_element("p").add_text(words.sentence(10, 30))
+    return body
+
+
+def _epilog(rng: random.Random, words: WordPool) -> Element:
+    epilog = Element("epilog")
+    if rng.random() < 0.6:
+        epilog.add_element("acknoledgements").add_text(words.sentence(4, 10))
+    if rng.random() < 0.7:
+        references = epilog.add_element("references")
+        for _ in range(rng.randint(1, 6)):
+            references.add_element("a_id").add_text(str(rng.randint(1, 99999)))
+    return epilog

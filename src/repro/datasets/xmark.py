@@ -1,0 +1,218 @@
+"""XMark-like auction-site document: structure-rich, fairly deep, bushy.
+
+The paper's characterization: "The XMark data set is structure-rich,
+fairly deep and very flat (fan-out of the bisimulation graph is large),
+therefore, the structures are less repetitive" — structural pruning
+thrives there (pp ≈ sel in Table 2 / Figure 5).
+
+The generated schema follows the fragments the paper's XMark queries
+touch::
+
+    site
+      regions(africa|asia|australia|europe|namerica|samerica)
+        item*(location, quantity, name, payment?, shipping?,
+              description(text+ | parlist), mailbox?(mail*(from, to?, date,
+              text)))
+      categories(category*(name, description))
+      people(person*(name, emailaddress, phone?, address?(street, city,
+             country), watches?(watch*)))
+      open_auctions(open_auction*(initial, bidder*(date, increase),
+             current, seller?, annotation(author, description, happiness?),
+             quantity, type))
+      closed_auctions(closed_auction*(seller, buyer, price, date,
+             annotation(author, description)))
+
+``description`` recurses through ``parlist/listitem`` (bounded depth) and
+mail ``text`` carries nested inline markup (``emph``, ``bold``,
+``keyword``) — the structures behind queries like
+``//item[name]/mailbox/mail[to]/text[bold]/emph/bold``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.base import DatasetBundle, WordPool, scaled
+from repro.xmltree import Document, Element
+
+_REGIONS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+
+
+def generate_xmark(scale: float = 1.0, seed: int = 42) -> DatasetBundle:
+    """Generate the XMark-like document.
+
+    ``scale=1.0`` yields roughly 20k elements (the original XMark factor
+    1 has 1.67M; the shape — not the size — is what the metrics need).
+    """
+    rng = random.Random(seed)
+    words = WordPool(rng)
+    site = Element("site")
+
+    regions = site.add_element("regions")
+    items_per_region = scaled(60, scale)
+    for region_name in _REGIONS:
+        region = regions.add_element(region_name)
+        for _ in range(rng.randint(items_per_region // 2, items_per_region)):
+            region.append(_item(rng, words))
+
+    categories = site.add_element("categories")
+    for _ in range(scaled(45, scale)):
+        category = categories.add_element("category")
+        category.add_element("name").add_text(words.word())
+        category.append(_description(rng, words))
+
+    people = site.add_element("people")
+    for _ in range(scaled(320, scale)):
+        people.append(_person(rng, words))
+
+    open_auctions = site.add_element("open_auctions")
+    for _ in range(scaled(220, scale)):
+        open_auctions.append(_open_auction(rng, words))
+
+    closed_auctions = site.add_element("closed_auctions")
+    for _ in range(scaled(160, scale)):
+        closed_auctions.append(_closed_auction(rng, words))
+
+    document = Document(site)
+    return DatasetBundle(
+        name="xmark",
+        documents=[document],
+        depth_limit=6,
+        description=(
+            "XMark-like auction document: structure-rich, deep, bushy "
+            f"({document.element_count()} elements)"
+        ),
+        seed=seed,
+        scale=scale,
+    )
+
+
+def _item(rng: random.Random, words: WordPool) -> Element:
+    item = Element("item")
+    item.add_element("location").add_text(words.word())
+    item.add_element("quantity").add_text(str(rng.randint(1, 10)))
+    item.add_element("name").add_text(words.sentence(1, 3))
+    if rng.random() < 0.7:
+        item.add_element("payment").add_text(
+            rng.choice(["Creditcard", "Money order", "Cash"])
+        )
+    if rng.random() < 0.6:
+        item.add_element("shipping").add_text(
+            rng.choice(["Will ship internationally", "Buyer pays"])
+        )
+    item.append(_description(rng, words))
+    if rng.random() < 0.75:
+        mailbox = item.add_element("mailbox")
+        for _ in range(rng.randint(0, 3)):
+            mailbox.append(_mail(rng, words))
+    return item
+
+
+def _description(rng: random.Random, words: WordPool) -> Element:
+    description = Element("description")
+    if rng.random() < 0.45:
+        description.append(_parlist(rng, words, depth=1))
+    else:
+        for _ in range(rng.randint(1, 2)):
+            description.add_element("text").add_text(words.sentence(6, 16))
+    return description
+
+
+def _parlist(rng: random.Random, words: WordPool, depth: int) -> Element:
+    parlist = Element("parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = parlist.add_element("listitem")
+        if depth < 3 and rng.random() < 0.3:
+            listitem.append(_parlist(rng, words, depth + 1))
+        else:
+            listitem.add_element("text").add_text(words.sentence(4, 10))
+    return parlist
+
+
+def _mail(rng: random.Random, words: WordPool) -> Element:
+    mail = Element("mail")
+    mail.add_element("from").add_text(words.name())
+    if rng.random() < 0.8:
+        mail.add_element("to").add_text(words.name())
+    mail.add_element("date").add_text(
+        f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/{words.year()}"
+    )
+    mail.append(_rich_text(rng, words, depth=1))
+    return mail
+
+
+def _rich_text(rng: random.Random, words: WordPool, depth: int) -> Element:
+    """A ``text`` element with nested inline markup: emph / bold /
+    keyword, each optionally containing more markup (bounded depth)."""
+    text = Element("text")
+    text.add_text(words.sentence(3, 8))
+    if depth <= 3:
+        for tag, chance in (("emph", 0.5), ("bold", 0.4), ("keyword", 0.3)):
+            if rng.random() < chance:
+                inline = text.add_element(tag)
+                inline.add_text(words.words(rng.randint(1, 3)))
+                # Nested markup, e.g. text/emph/keyword or text/bold/emph/bold.
+                if rng.random() < 0.45:
+                    nested_tag = rng.choice(["emph", "bold", "keyword"])
+                    nested = inline.add_element(nested_tag)
+                    nested.add_text(words.word())
+                    if depth + 2 <= 3 and rng.random() < 0.3:
+                        nested.add_element(
+                            rng.choice(["emph", "bold", "keyword"])
+                        ).add_text(words.word())
+    return text
+
+
+def _person(rng: random.Random, words: WordPool) -> Element:
+    person = Element("person")
+    person.add_element("name").add_text(words.name())
+    person.add_element("emailaddress").add_text(f"{words.word()}@example.org")
+    if rng.random() < 0.5:
+        person.add_element("phone").add_text(f"+{rng.randint(1, 99)} {rng.randint(100, 999)}")
+    if rng.random() < 0.4:
+        address = person.add_element("address")
+        address.add_element("street").add_text(words.sentence(2, 3))
+        address.add_element("city").add_text(words.word().capitalize())
+        address.add_element("country").add_text(words.word().capitalize())
+    if rng.random() < 0.3:
+        watches = person.add_element("watches")
+        for _ in range(rng.randint(1, 3)):
+            watches.add_element("watch").add_text(str(rng.randint(1, 999)))
+    return person
+
+
+def _open_auction(rng: random.Random, words: WordPool) -> Element:
+    auction = Element("open_auction")
+    auction.add_element("initial").add_text(f"{rng.uniform(1, 200):.2f}")
+    for _ in range(rng.randint(0, 4)):
+        bidder = auction.add_element("bidder")
+        bidder.add_element("date").add_text(f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}")
+        bidder.add_element("increase").add_text(f"{rng.uniform(1, 50):.2f}")
+    auction.add_element("current").add_text(f"{rng.uniform(1, 400):.2f}")
+    if rng.random() < 0.7:
+        auction.add_element("seller").add_text(f"person{rng.randint(0, 999)}")
+    auction.append(_annotation(rng, words, with_happiness=True))
+    auction.add_element("quantity").add_text(str(rng.randint(1, 5)))
+    auction.add_element("type").add_text(rng.choice(["Regular", "Featured"]))
+    return auction
+
+
+def _closed_auction(rng: random.Random, words: WordPool) -> Element:
+    auction = Element("closed_auction")
+    auction.add_element("seller").add_text(f"person{rng.randint(0, 999)}")
+    auction.add_element("buyer").add_text(f"person{rng.randint(0, 999)}")
+    auction.add_element("price").add_text(f"{rng.uniform(1, 400):.2f}")
+    auction.add_element("date").add_text(f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}")
+    auction.append(_annotation(rng, words, with_happiness=False))
+    return auction
+
+
+def _annotation(
+    rng: random.Random, words: WordPool, with_happiness: bool
+) -> Element:
+    annotation = Element("annotation")
+    annotation.add_element("author").add_text(words.name())
+    annotation.append(_description(rng, words))
+    if with_happiness and rng.random() < 0.6:
+        annotation.add_element("happiness").add_text(str(rng.randint(1, 10)))
+    return annotation

@@ -1,0 +1,24 @@
+"""Query evaluation engines.
+
+FIX is a *pruning* index: it needs a refinement processor to validate
+candidates, and it is benchmarked against full evaluators running with
+no index support (Figure 6).  This package provides:
+
+* :class:`~repro.engine.navigational.NavigationalEngine` — a NoK-style
+  navigational twig matcher.  Used (a) standalone over the whole primary
+  store as the no-index baseline, and (b) as the refinement operator run
+  on candidates the FIX index returns.
+* :class:`~repro.engine.structural_join.StructuralJoinEngine` — the
+  classic region-encoding structural-join evaluator, the "join-based"
+  operator family the paper cites; a second baseline and an alternative
+  refinement backend.
+
+Both engines answer the same question — which elements can the query
+root bind to — so their outputs are directly comparable to the ground
+truth in :mod:`repro.query.match` (and are tested against it).
+"""
+
+from repro.engine.navigational import EngineStats, NavigationalEngine
+from repro.engine.structural_join import StructuralJoinEngine
+
+__all__ = ["EngineStats", "NavigationalEngine", "StructuralJoinEngine"]

@@ -1,0 +1,25 @@
+"""The F&B (forward & backward) bisimulation index — the paper's
+clustered-index competitor ([18], [27] in the paper).
+
+Two tree nodes are F&B-equivalent when they have the same label, their
+*parents* are F&B-equivalent (backward), and they have the same *set* of
+F&B-equivalent children (forward).  On a tree the quotient is again a
+tree of blocks, each carrying the extent of elements it stands for; the
+F&B index is a **covering** index for branching path queries: a twig that
+matches on the block tree is guaranteed to produce results from every
+element of the matched root block, with no refinement step.
+
+* :func:`~repro.fb.partition.fb_partition` — fixpoint refinement
+  computing the coarsest stable partition.
+* :class:`~repro.fb.index.FBIndex` — the block tree with extents, plus a
+  serialized size estimate so Table-1-style comparisons are honest.
+* :class:`~repro.fb.evaluator.FBEvaluator` — navigational twig matching
+  over the block tree (the DFS-style lookup the paper describes for
+  disk-based F&B), returning extents.
+"""
+
+from repro.fb.evaluator import FBEvaluator
+from repro.fb.index import FBBlock, FBIndex
+from repro.fb.partition import fb_partition
+
+__all__ = ["FBBlock", "FBEvaluator", "FBIndex", "fb_partition"]

@@ -1,0 +1,133 @@
+"""Twig evaluation on the F&B block tree.
+
+F&B is a covering index for branching path queries: if the twig pattern
+matches the block tree with its root bound to block ``B``, then *every*
+element in ``B``'s extent produces a result — stability of the partition
+guarantees each element of a block has at least one child in every child
+block.  Evaluation therefore never touches the document; its cost is a
+navigation of the block tree, which is exactly why the paper's Figure 6
+shows F&B excelling on regular/shallow DBLP (a few hundred blocks) and
+suffering on structure-rich data (block counts approaching node counts,
+e.g. the >300k-vertex Treebank F&B graph cited in the introduction).
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import Axis
+from repro.query.twig import QueryNode, TwigQuery
+from repro.fb.index import FBBlock, FBIndex
+
+
+class FBEvaluator:
+    """Navigational twig matching over one document's F&B index."""
+
+    def __init__(self, index: FBIndex) -> None:
+        self._index = index
+        #: blocks visited by the last / all evaluations (work counter).
+        self.blocks_visited = 0
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, twig: TwigQuery) -> list[int]:
+        """Element ids the twig's root can bind to, in document order."""
+        roots = self.matching_blocks(twig)
+        result: list[int] = []
+        for block in roots:
+            result.extend(block.extent)
+        result.sort()
+        return result
+
+    def matching_blocks(self, twig: TwigQuery) -> list[FBBlock]:
+        """Blocks the twig's root matches (root bindings, block level)."""
+        memo: dict[tuple[int, int], bool] = {}
+        if twig.leading_axis is Axis.CHILD:
+            candidates = [self._index.root]
+        else:
+            candidates = [
+                block
+                for block in self._index.blocks
+                if block.label == twig.root.label
+            ]
+        return [
+            block
+            for block in candidates
+            if self._matches(twig.root, block, memo)
+        ]
+
+    def exists(self, twig: TwigQuery) -> bool:
+        """Existential answer without materializing extents."""
+        return bool(self.matching_blocks(twig))
+
+    # ------------------------------------------------------------------ #
+    # Block-tree matching
+    # ------------------------------------------------------------------ #
+
+    def _matches(
+        self,
+        node: QueryNode,
+        block: FBBlock,
+        memo: dict[tuple[int, int], bool],
+    ) -> bool:
+        key = (id(node), block.block_id)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        self.blocks_visited += 1
+        result = self._matches_uncached(node, block, memo)
+        memo[key] = result
+        return result
+
+    def _matches_uncached(
+        self,
+        node: QueryNode,
+        block: FBBlock,
+        memo: dict[tuple[int, int], bool],
+    ) -> bool:
+        if block.label != node.label:
+            return False
+        if node.value is not None:
+            # Value predicates require the index to have been built with
+            # the same text hashing FIX uses; the child block's hashed
+            # label must be present.  (Hash collisions make this a
+            # *candidate* answer; the caller compensates — see the value
+            # benchmarks.)
+            mapping = self._index._text_label
+            if mapping is None:
+                return False
+            wanted = mapping(node.value)
+            if not any(
+                child.is_text and child.label == wanted
+                for child in block.children
+            ):
+                return False
+        for axis, child_node in node.edges:
+            if axis is Axis.CHILD:
+                hit = any(
+                    self._matches(child_node, child_block, memo)
+                    for child_block in block.children
+                )
+            else:
+                hit = self._descendant_matches(child_node, block, memo)
+            if not hit:
+                return False
+        return True
+
+    def _descendant_matches(
+        self,
+        node: QueryNode,
+        block: FBBlock,
+        memo: dict[tuple[int, int], bool],
+    ) -> bool:
+        stack = list(block.children)
+        seen: set[int] = set()
+        while stack:
+            candidate = stack.pop()
+            if candidate.block_id in seen:
+                continue
+            seen.add(candidate.block_id)
+            if self._matches(node, candidate, memo):
+                return True
+            stack.extend(candidate.children)
+        return False

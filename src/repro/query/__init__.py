@@ -1,0 +1,48 @@
+"""Path expressions, twig queries, and match semantics (Section 2.1, 5).
+
+The supported fragment is the paper's: ``/`` and ``//`` axes, NameTests,
+nested branching predicates, and value-equality predicates
+(``[publisher = "Springer"]``).  The grammar::
+
+    path      := axis step (axis step)*
+    axis      := '//' | '/'
+    step      := name predicate*
+    predicate := '[' relpath ('=' literal)? ']'
+    relpath   := ('.' axis step (axis step)*) | step (axis step)*
+    literal   := '"' ... '"' | "'" ... "'"
+
+* :func:`~repro.query.parser.parse_query` — text → :class:`PathExpr`.
+* :class:`~repro.query.twig.TwigQuery` — the Definition 1 object: a
+  rooted tree of NameTests with child edges only (leading axis may be
+  ``//``), convertible to an element tree and hence — through the shared
+  bisimulation builder — to its twig pattern and feature key.
+* :func:`~repro.query.decompose.decompose` — split a general path
+  expression with interior ``//`` into twig queries (Section 5).
+* :mod:`~repro.query.match` — brute-force existential match semantics
+  (Definitions 2 and 4): the ground truth the index is measured against.
+"""
+
+from repro.query.ast import Axis, PathExpr, Predicate, Step
+from repro.query.decompose import decompose
+from repro.query.match import (
+    matches_at,
+    matching_elements,
+    query_matches_document,
+)
+from repro.query.parser import parse_query
+from repro.query.twig import QueryNode, TwigQuery, twig_of
+
+__all__ = [
+    "Axis",
+    "PathExpr",
+    "Predicate",
+    "QueryNode",
+    "Step",
+    "TwigQuery",
+    "decompose",
+    "matches_at",
+    "matching_elements",
+    "parse_query",
+    "query_matches_document",
+    "twig_of",
+]

@@ -1,0 +1,143 @@
+"""Abstract syntax of the supported path-expression fragment."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Axis(enum.Enum):
+    """The two axes the paper's fragment supports (Section 2.1)."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate:
+    """A branching predicate ``[relpath]`` or ``[relpath = "literal"]``.
+
+    ``path`` is a relative path expression; its first step's axis is the
+    axis written after the optional leading ``.`` (a bare ``[author]``
+    parses as a child-axis step, ``[.//author]`` as descendant).
+    ``value`` is the equality literal, or ``None`` for purely structural
+    predicates.
+    """
+
+    path: "PathExpr"
+    value: str | None = None
+
+    def __str__(self) -> str:
+        inner = self.path.to_string(leading_axis=self.path.steps[0].axis is Axis.DESCENDANT and "." or "")
+        if self.value is not None:
+            return f"[{inner} = \"{self.value}\"]"
+        return f"[{inner}]"
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One location step: an axis, a NameTest, and optional predicates."""
+
+    axis: Axis
+    name: str
+    predicates: tuple[Predicate, ...] = field(default=())
+
+    def __str__(self) -> str:
+        return f"{self.axis}{self.name}" + "".join(str(p) for p in self.predicates)
+
+
+@dataclass(frozen=True, slots=True)
+class PathExpr:
+    """A parsed path expression: a non-empty sequence of steps."""
+
+    steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a path expression needs at least one step")
+
+    # ------------------------------------------------------------------ #
+    # Measurements
+    # ------------------------------------------------------------------ #
+
+    def depth(self) -> int:
+        """Depth of the query tree: the first step is at depth 1 and each
+        further step or predicate step adds a level."""
+
+        def predicate_depth(predicate: Predicate) -> int:
+            # A value literal adds a text-node level in the value-extended
+            # tree, but depth here is the *structural* depth the paper
+            # compares against the index depth limit, so literals do not
+            # count.
+            return predicate.path.depth()
+
+        best = 0
+        for position, step in enumerate(self.steps, start=1):
+            for predicate in step.predicates:
+                best = max(best, position + predicate_depth(predicate))
+            best = max(best, position)
+        return best
+
+    def has_interior_descendant_axis(self) -> bool:
+        """True when any axis other than the very first is ``//``
+        (including inside predicates) — the Section 5 decomposition case."""
+        for position, step in enumerate(self.steps):
+            if position > 0 and step.axis is Axis.DESCENDANT:
+                return True
+            for predicate in step.predicates:
+                # Inside a predicate the leading axis is "interior" too.
+                inner = predicate.path
+                if any(s.axis is Axis.DESCENDANT for s in inner.steps):
+                    return True
+                if inner.has_interior_descendant_axis():
+                    return True
+        return False
+
+    def has_value_predicates(self) -> bool:
+        """True when any predicate (at any nesting depth) tests a value."""
+        for step in self.steps:
+            for predicate in step.predicates:
+                if predicate.value is not None:
+                    return True
+                if predicate.path.has_value_predicates():
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    def to_string(self, leading_axis: str | None = None) -> str:
+        """Render back to path-expression syntax.
+
+        ``leading_axis`` overrides how the first step's axis is printed
+        (used for relative predicate paths, where a child-axis first step
+        prints bare and a descendant one prints ``.//``).
+        """
+        parts: list[str] = []
+        for position, step in enumerate(self.steps):
+            if position == 0 and leading_axis is not None:
+                axis_text = leading_axis
+            elif position == 0 and step.axis is Axis.DESCENDANT:
+                axis_text = "//"
+            elif position == 0:
+                axis_text = "/"
+            else:
+                axis_text = str(step.axis)
+            parts.append(f"{axis_text}{step.name}")
+            for predicate in step.predicates:
+                inner_leading = (
+                    ".//" if predicate.path.steps[0].axis is Axis.DESCENDANT else ""
+                )
+                inner = predicate.path.to_string(leading_axis=inner_leading)
+                if predicate.value is not None:
+                    parts.append(f'[{inner} = "{predicate.value}"]')
+                else:
+                    parts.append(f"[{inner}]")
+        return "".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_string()

@@ -1,0 +1,53 @@
+"""Decomposition of general path expressions into twig queries (Section 5).
+
+A path expression with interior ``//`` axes is split at every descendant
+edge: each maximal fragment connected by child edges becomes one twig
+query (with a ``//`` leading axis, since its anchor point floats).  The
+paper's example::
+
+    //open_auction[.//bidder[name][email]]/price
+      -> //open_auction/price         (the *top* twig, containing the root)
+         //bidder[name][email]
+
+Pruning semantics (Section 5): for a collection index every twig can
+prune (a candidate document must cover all of them); for a depth-limited
+index only the top twig prunes, because descendant fragments can match
+below the indexed unit's horizon.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import Axis
+from repro.query.twig import QueryNode, TwigQuery, twig_of
+from repro.query.ast import PathExpr
+
+
+def decompose(query: TwigQuery | PathExpr | str) -> list[TwigQuery]:
+    """Split a query at ``//`` edges into child-axis-only twig queries.
+
+    The first element of the result is always the *top* twig (the one
+    containing the original root).  A query that is already a twig
+    returns a single structurally-equal copy.
+    """
+    if not isinstance(query, TwigQuery):
+        query = twig_of(query)
+    fragments: list[TwigQuery] = []
+    top_root = _split(query.root, fragments)
+    top = TwigQuery(top_root, query.leading_axis, source=query.source)
+    return [top] + fragments
+
+
+def _split(node: QueryNode, fragments: list[TwigQuery]) -> QueryNode:
+    """Copy ``node``'s child-axis-connected component; descendant edges
+    spawn new fragments appended to ``fragments`` (depth-first, so nested
+    fragments follow their parents)."""
+    copy = QueryNode(node.label, value=node.value)
+    for axis, child in node.edges:
+        child_copy = _split(child, fragments)
+        if axis is Axis.CHILD:
+            copy.edges.append((Axis.CHILD, child_copy))
+        else:
+            fragments.append(
+                TwigQuery(child_copy, Axis.DESCENDANT, source=f"//{child.label}...")
+            )
+    return copy

@@ -1,0 +1,176 @@
+"""Brute-force existential match semantics (Definition 2).
+
+This module is the *ground truth* of the whole reproduction: selectivity
+and false-positive/negative accounting, the refinement step's final
+answer, and every end-to-end correctness test are all defined against
+these functions.  They are deliberately simple — direct recursive
+implementations of the paper's definitions with memoization — rather
+than fast; the optimized evaluation paths live in :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import Axis
+from repro.query.twig import QueryNode, TwigQuery
+from repro.xmltree.model import Document, Element
+
+_Memo = dict[tuple[int, int], bool]
+
+
+def matches_at(
+    node: QueryNode,
+    element: Element,
+    memo: _Memo | None = None,
+) -> bool:
+    """Does the query subtree rooted at ``node`` match with ``node`` bound
+    to ``element``?
+
+    Per Definition 2: labels must agree; a value literal requires a
+    direct text child equal to it; every child edge must be satisfiable
+    by some child (``/``) or some strict descendant (``//``).
+    """
+    if memo is None:
+        memo = {}
+    return _matches(node, element, memo)
+
+
+def _matches(node: QueryNode, element: Element, memo: _Memo) -> bool:
+    key = (id(node), element.node_id)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _matches_uncached(node, element, memo)
+    memo[key] = result
+    return result
+
+
+def _matches_uncached(node: QueryNode, element: Element, memo: _Memo) -> bool:
+    if node.label != element.tag:
+        return False
+    if node.value is not None and not any(
+        text.value == node.value for text in element.text_children()
+    ):
+        return False
+    for axis, child in node.edges:
+        if axis is Axis.CHILD:
+            candidates = element.child_elements()
+        else:
+            candidates = element.descendants()
+        if not any(_matches(child, candidate, memo) for candidate in candidates):
+            return False
+    return True
+
+
+def matching_elements(twig: TwigQuery, document: Document) -> list[Element]:
+    """All elements the twig's root can bind to, in document order.
+
+    With a ``//`` leading axis the root may bind anywhere; with ``/`` only
+    to the document's root element (the query root's parent is the
+    document node — Definition 2's first condition).
+    """
+    memo: _Memo = {}
+    if twig.leading_axis is Axis.CHILD:
+        candidates = [document.root]
+    else:
+        candidates = [
+            element
+            for element in document.elements()
+            if element.tag == twig.root.label
+        ]
+    return [
+        element for element in candidates if _matches(twig.root, element, memo)
+    ]
+
+
+def query_matches_document(twig: TwigQuery, document: Document) -> bool:
+    """Existential match of the whole query against a document."""
+    memo: _Memo = {}
+    if twig.leading_axis is Axis.CHILD:
+        return _matches(twig.root, document.root, memo)
+    return any(
+        _matches(twig.root, element, memo)
+        for element in document.elements()
+        if element.tag == twig.root.label
+    )
+
+
+def matches_within_depth(
+    twig: TwigQuery, element: Element, depth_limit: int
+) -> bool:
+    """Match with the twig's root bound to ``element``, seeing only the
+    subtree down to ``depth_limit`` levels (the indexed unit's horizon).
+
+    Used to define ``rst`` for depth-limited indexes: an index entry
+    (element) *produces a result* when the — leading-axis-rewritten —
+    query matches rooted at that element inside its depth-``k`` unit.
+    With ``depth_limit <= 0`` the whole subtree is visible.
+    """
+    memo: _Memo = {}
+    return _matches_limited(twig.root, element, 1, depth_limit, memo)
+
+
+def _matches_limited(
+    node: QueryNode,
+    element: Element,
+    level: int,
+    depth_limit: int,
+    memo: _Memo,
+) -> bool:
+    key = (id(node), element.node_id)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    result = _matches_limited_uncached(node, element, level, depth_limit, memo)
+    memo[key] = result
+    return result
+
+
+def _matches_limited_uncached(
+    node: QueryNode,
+    element: Element,
+    level: int,
+    depth_limit: int,
+    memo: _Memo,
+) -> bool:
+    if node.label != element.tag:
+        return False
+    if node.value is not None and not any(
+        text.value == node.value for text in element.text_children()
+    ):
+        return False
+    for axis, child in node.edges:
+        if axis is Axis.CHILD:
+            if depth_limit > 0 and level + 1 > depth_limit:
+                return False
+            hit = any(
+                _matches_limited(child, candidate, level + 1, depth_limit, memo)
+                for candidate in element.child_elements()
+            )
+        else:
+            hit = _any_descendant_matches(
+                child, element, level, depth_limit, memo
+            )
+        if not hit:
+            return False
+    return True
+
+
+def _any_descendant_matches(
+    node: QueryNode,
+    element: Element,
+    level: int,
+    depth_limit: int,
+    memo: _Memo,
+) -> bool:
+    stack = [(child, level + 1) for child in element.child_elements()]
+    while stack:
+        candidate, candidate_level = stack.pop()
+        if depth_limit > 0 and candidate_level > depth_limit:
+            continue
+        if _matches_limited(node, candidate, candidate_level, depth_limit, memo):
+            return True
+        stack.extend(
+            (grandchild, candidate_level + 1)
+            for grandchild in candidate.child_elements()
+        )
+    return False

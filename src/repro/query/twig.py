@@ -1,0 +1,219 @@
+"""Twig queries (Definition 1) and their twig patterns.
+
+A :class:`TwigQuery` is the tree form of a path expression: NameTests as
+nodes, axes as edges, value-equality literals attached to the node they
+constrain.  Its *twig pattern* — the bisimulation graph the feature key
+is extracted from — is obtained by materializing the query tree as an
+element tree (value literals becoming text children) and running it
+through the same :class:`~repro.bisim.builder.BisimGraphBuilder` used on
+data, which also merges structurally identical query branches exactly as
+Definition 4 requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedQueryError
+from repro.bisim import BisimGraph, bisim_graph_of_document
+from repro.query.ast import Axis, PathExpr, Step
+from repro.xmltree.model import Element
+
+
+@dataclass(slots=True)
+class QueryNode:
+    """A node of the query tree.
+
+    Attributes:
+        label: the NameTest.
+        edges: outgoing ``(axis, child)`` pairs; for a Definition 1 twig
+            all axes are :data:`Axis.CHILD`.
+        value: text-equality literal constraining this node, or ``None``.
+    """
+
+    label: str
+    edges: list[tuple[Axis, "QueryNode"]] = field(default_factory=list)
+    value: str | None = None
+
+    def depth(self) -> int:
+        """Height of the query tree rooted here (this node counts as 1).
+
+        A value literal does not add structural depth (it constrains the
+        node, it does not descend past it) — this matches how the index
+        depth limit is compared in Algorithm 2.
+        """
+        return 1 + max((child.depth() for _, child in self.edges), default=0)
+
+    def extended_depth(self) -> int:
+        """Depth in the *value-extended* tree, where a value literal is a
+        text child occupying one level.  A value-extended index truncates
+        its patterns at this extended depth, so coverage checks against a
+        value index must use this measure."""
+        floor = 2 if self.value is not None else 1
+        return max(
+            floor,
+            1 + max((child.extended_depth() for _, child in self.edges), default=0),
+        )
+
+    def node_count(self) -> int:
+        """Number of NameTest nodes in the subtree."""
+        return 1 + sum(child.node_count() for _, child in self.edges)
+
+    def all_child_axes(self) -> bool:
+        """True when every edge below (and including) this node is ``/``."""
+        return all(
+            axis is Axis.CHILD and child.all_child_axes()
+            for axis, child in self.edges
+        )
+
+    def has_values(self) -> bool:
+        """True when any node in the subtree carries a value literal."""
+        return self.value is not None or any(
+            child.has_values() for _, child in self.edges
+        )
+
+
+@dataclass(slots=True)
+class TwigQuery:
+    """A rooted query tree plus the leading axis of its first step."""
+
+    root: QueryNode
+    leading_axis: Axis
+    #: the original surface syntax, kept for display and round-trips.
+    source: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    def is_structural_twig(self) -> bool:
+        """Definition 1: only child axes below the root, no value tests."""
+        return self.root.all_child_axes() and not self.root.has_values()
+
+    def is_twig(self) -> bool:
+        """Twig shape (child axes only), values allowed — what the
+        Section 4.6 value-extended index accepts."""
+        return self.root.all_child_axes()
+
+    def has_values(self) -> bool:
+        """True when the query carries value-equality literals."""
+        return self.root.has_values()
+
+    def depth(self) -> int:
+        """Structural depth (first step at depth 1)."""
+        return self.root.depth()
+
+    @property
+    def root_label(self) -> str:
+        """The NameTest of the first step — the feature key's label."""
+        return self.root.label
+
+    # ------------------------------------------------------------------ #
+    # Pattern extraction
+    # ------------------------------------------------------------------ #
+
+    def to_element(self) -> Element:
+        """Materialize the query tree as an element tree.
+
+        Value literals become text children, mirroring how data documents
+        carry PCDATA.
+
+        Raises:
+            UnsupportedQueryError: when the query has ``//`` edges below
+                the root (those must be decomposed first — Section 5).
+        """
+        if not self.is_twig():
+            raise UnsupportedQueryError(
+                "only child-axis twigs can be materialized; decompose "
+                "interior '//' first"
+            )
+        return _materialize(self.root)
+
+    def pattern(
+        self, text_label: Callable[[str], str] | None = None
+    ) -> BisimGraph:
+        """The twig pattern: bisimulation graph of the query tree.
+
+        Args:
+            text_label: the index's value-hash mapping; required to be the
+                *same* mapping the index was built with for value queries.
+        """
+        if self.has_values() and text_label is None:
+            raise UnsupportedQueryError(
+                "query has value predicates but no value mapping was given "
+                "(is the index value-extended?)"
+            )
+        element = self.to_element()
+        # Query trees are tiny; Document numbering via bisim builder only.
+        from repro.xmltree.model import Document
+
+        return bisim_graph_of_document(Document(element), text_label=text_label)
+
+    def with_child_leading_axis(self) -> "TwigQuery":
+        """A copy whose leading ``//`` is replaced by ``/`` — the
+        Algorithm 2, line 8 rewrite applied before refinement on indexed
+        subpattern candidates."""
+        return TwigQuery(self.root, Axis.CHILD, source=self.source)
+
+
+def _materialize(node: QueryNode) -> Element:
+    element = Element(node.label)
+    if node.value is not None:
+        element.add_text(node.value)
+    for _, child in node.edges:
+        element.append(_materialize(child))
+    return element
+
+
+# --------------------------------------------------------------------- #
+# Construction from the AST
+# --------------------------------------------------------------------- #
+
+
+def _node_of_steps(steps: Sequence[Step]) -> QueryNode:
+    """Build the query-node chain for a step sequence, attaching
+    predicates as branches."""
+    head = QueryNode(steps[0].name)
+    _attach_predicates(head, steps[0])
+    current = head
+    for step in steps[1:]:
+        child = QueryNode(step.name)
+        _attach_predicates(child, step)
+        current.edges.append((step.axis, child))
+        current = child
+    return head
+
+
+def _attach_predicates(node: QueryNode, step: Step) -> None:
+    for predicate in step.predicates:
+        branch = _node_of_steps(predicate.path.steps)
+        if predicate.value is not None:
+            # The literal constrains the *last* node of the predicate path.
+            tail = branch
+            while tail.edges:
+                tail = tail.edges[-1][1]
+            tail.value = predicate.value
+        node.edges.append((predicate.path.steps[0].axis, branch))
+
+
+def twig_of(path: PathExpr | str) -> TwigQuery:
+    """Convert a path expression into its query tree.
+
+    Accepts either a parsed :class:`PathExpr` or query text.  The result
+    may still contain interior ``//`` edges; callers that need a
+    Definition 1 twig should check :meth:`TwigQuery.is_structural_twig`
+    or run :func:`repro.query.decompose.decompose`.
+    """
+    if isinstance(path, str):
+        from repro.query.parser import parse_query
+
+        source = path
+        path = parse_query(path)
+    else:
+        source = path.to_string()
+    root = _node_of_steps(path.steps)
+    # The first *edge* into the root is the leading axis; edges stored on
+    # the chain start from the second step, so pull the root's axis off
+    # the first step directly.
+    return TwigQuery(root, path.steps[0].axis, source=source)

@@ -1,0 +1,83 @@
+"""An R-tree view of a FIX index's feature keys (Section 8 future work).
+
+Wraps one bulk-loaded R-tree per root label over the ``(λ_min, λ_max)``
+points of a built :class:`~repro.core.index.FixIndex`.  The candidates
+it returns are *identical* to the B-tree backend's (both implement the
+Section 3.4 containment predicate exactly, with the same guard band);
+what differs is the amount of work: the B-tree must scan the whole
+``λ_max >= query`` suffix and reject entries on λ_min one by one, while
+the R-tree prunes on both coordinates while descending.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.core.index import FixIndex, IndexEntry
+from repro.spectral import FeatureKey
+from repro.spatial.rtree import Rect, RTree
+
+
+class SpatialFeatureIndex:
+    """Per-label R-trees over a FIX index's feature points."""
+
+    def __init__(self, index: FixIndex, max_entries: int = 16) -> None:
+        self._index = index
+        self._guard = index.config.guard_band
+        grouped: dict[str, list[tuple[Rect, IndexEntry]]] = {}
+        self._all_covering: dict[str, list[IndexEntry]] = {}
+        for entry in index.iter_entries():
+            label = entry.key.root_label
+            if entry.key.range.is_all_covering():
+                # Infinite rectangles poison R-tree bounds; keep the
+                # (rare) all-covering entries aside and always return
+                # them, mirroring the B-tree's behaviour.
+                self._all_covering.setdefault(label, []).append(entry)
+                continue
+            point = Rect.point(entry.key.range.lmin, entry.key.range.lmax)
+            grouped.setdefault(label, []).append((point, entry))
+        self._trees: dict[str, RTree] = {
+            label: RTree.bulk_load(entries, max_entries=max_entries)
+            for label, entries in grouped.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def candidates_for_key(self, query_key: FeatureKey) -> Iterator[IndexEntry]:
+        """Same contract as :meth:`FixIndex.candidates_for_key` (anchored)."""
+        label = query_key.root_label
+        tree = self._trees.get(label)
+        if tree is not None:
+            # Containment with the guard band: indexed λ_min <= q_min + g
+            # and indexed λ_max >= q_max - g.
+            qx = query_key.range.lmin + self._guard
+            qy = query_key.range.lmax - self._guard
+            if math.isinf(qy):  # degenerate all-covering query key
+                qy = -math.inf
+            for entry in tree.search_dominating(qx, qy):
+                yield entry  # type: ignore[misc]
+        yield from self._all_covering.get(label, [])
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def entries_inspected(self) -> int:
+        """Total leaf entries looked at across all queries so far."""
+        return sum(tree.entries_inspected for tree in self._trees.values())
+
+    def nodes_visited(self) -> int:
+        """Total tree nodes visited across all queries so far."""
+        return sum(tree.nodes_visited for tree in self._trees.values())
+
+    def reset_stats(self) -> None:
+        """Zero all work counters."""
+        for tree in self._trees.values():
+            tree.reset_stats()
+
+    def labels(self) -> list[str]:
+        """Labels with at least one finite-range entry."""
+        return sorted(self._trees)

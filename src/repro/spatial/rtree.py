@@ -1,0 +1,325 @@
+"""A 2-D R-tree with quadratic split and STR bulk loading.
+
+Guttman's original design, specialized to the two dimensions FIX needs.
+Entries are ``(Rect, value)`` pairs; leaves hold data entries, internal
+nodes hold child bounding rectangles.  Supported queries:
+
+* :meth:`RTree.search` — all values whose rectangle intersects a window;
+* :meth:`RTree.search_dominating` — the FIX pruning predicate: entries
+  (points ``(λ_min, λ_max)``) with ``x ≤ qx`` and ``y ≥ qy``, i.e. the
+  upper-left quarter-plane anchored at the query point.
+
+The tree also counts node and entry inspections so backends can be
+compared on work done, not just wall time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle (degenerate = a point)."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        return cls(x, y, x, y)
+
+    def area(self) -> float:
+        return (self.max_x - self.min_x) * (self.max_y - self.min_y)
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb ``other``."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.min_x > self.max_x
+            or other.max_x < self.min_x
+            or other.min_y > self.max_y
+            or other.max_y < self.min_y
+        )
+
+    def intersects_quarter_plane(self, qx: float, qy: float) -> bool:
+        """Does this rectangle contain any point with x <= qx, y >= qy?"""
+        return self.min_x <= qx and self.max_y >= qy
+
+
+class _Node:
+    __slots__ = ("leaf", "rects", "children", "values", "bounds")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.rects: list[Rect] = []
+        self.children: list[_Node] = []  # internal nodes
+        self.values: list[object] = []  # leaves
+        self.bounds: Rect | None = None
+
+    def recompute_bounds(self) -> None:
+        if not self.rects:
+            self.bounds = None
+            return
+        bounds = self.rects[0]
+        for rect in self.rects[1:]:
+            bounds = bounds.union(rect)
+        self.bounds = bounds
+
+
+class RTree:
+    """R-tree over ``(Rect, value)`` entries.
+
+    Args:
+        max_entries: node capacity (Guttman's M); min fill is M // 2.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max = max_entries
+        self._min = max_entries // 2
+        self._root = _Node(leaf=True)
+        self._size = 0
+        #: work counters, reset with :meth:`reset_stats`.
+        self.nodes_visited = 0
+        self.entries_inspected = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def reset_stats(self) -> None:
+        """Zero the work counters."""
+        self.nodes_visited = 0
+        self.entries_inspected = 0
+
+    # ------------------------------------------------------------------ #
+    # Insert
+    # ------------------------------------------------------------------ #
+
+    def insert(self, rect: Rect, value: object) -> None:
+        """Add one entry."""
+        split = self._insert(self._root, rect, value)
+        if split is not None:
+            old_root = self._root
+            self._root = _Node(leaf=False)
+            for child in (old_root, split):
+                assert child.bounds is not None
+                self._root.rects.append(child.bounds)
+                self._root.children.append(child)
+            self._root.recompute_bounds()
+        self._size += 1
+
+    def _insert(self, node: _Node, rect: Rect, value: object) -> _Node | None:
+        if node.leaf:
+            node.rects.append(rect)
+            node.values.append(value)
+        else:
+            index = self._choose_subtree(node, rect)
+            split = self._insert(node.children[index], rect, value)
+            node.rects[index] = node.children[index].bounds  # type: ignore[assignment]
+            if split is not None:
+                assert split.bounds is not None
+                node.rects.append(split.bounds)
+                node.children.append(split)
+        node.recompute_bounds()
+        if len(node.rects) > self._max:
+            return self._split(node)
+        return None
+
+    def _choose_subtree(self, node: _Node, rect: Rect) -> int:
+        best = 0
+        best_growth = math.inf
+        best_area = math.inf
+        for i, child_rect in enumerate(node.rects):
+            growth = child_rect.enlargement(rect)
+            area = child_rect.area()
+            if growth < best_growth or (growth == best_growth and area < best_area):
+                best, best_growth, best_area = i, growth, area
+        return best
+
+    def _split(self, node: _Node) -> _Node:
+        """Guttman's quadratic split; mutates ``node`` into the left half
+        and returns the new right sibling."""
+        rects = node.rects
+        # Pick seeds: the pair wasting the most area together.
+        worst = -math.inf
+        seed_a, seed_b = 0, 1
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                waste = rects[i].union(rects[j]).area() - rects[i].area() - rects[j].area()
+                if waste > worst:
+                    worst, seed_a, seed_b = waste, i, j
+
+        members = list(range(len(rects)))
+        group_a = [seed_a]
+        group_b = [seed_b]
+        bounds_a = rects[seed_a]
+        bounds_b = rects[seed_b]
+        remaining = [m for m in members if m not in (seed_a, seed_b)]
+        while remaining:
+            # Forced assignment when one group must take the rest.
+            if len(group_a) + len(remaining) == self._min:
+                group_a.extend(remaining)
+                for m in remaining:
+                    bounds_a = bounds_a.union(rects[m])
+                break
+            if len(group_b) + len(remaining) == self._min:
+                group_b.extend(remaining)
+                for m in remaining:
+                    bounds_b = bounds_b.union(rects[m])
+                break
+            # Pick the member with the greatest preference difference.
+            best_member = remaining[0]
+            best_diff = -math.inf
+            for m in remaining:
+                diff = abs(
+                    bounds_a.enlargement(rects[m]) - bounds_b.enlargement(rects[m])
+                )
+                if diff > best_diff:
+                    best_diff, best_member = diff, m
+            remaining.remove(best_member)
+            grow_a = bounds_a.enlargement(rects[best_member])
+            grow_b = bounds_b.enlargement(rects[best_member])
+            if grow_a < grow_b or (grow_a == grow_b and len(group_a) <= len(group_b)):
+                group_a.append(best_member)
+                bounds_a = bounds_a.union(rects[best_member])
+            else:
+                group_b.append(best_member)
+                bounds_b = bounds_b.union(rects[best_member])
+
+        sibling = _Node(leaf=node.leaf)
+        if node.leaf:
+            values = node.values
+            node.rects = [rects[i] for i in group_a]
+            node.values = [values[i] for i in group_a]
+            sibling.rects = [rects[i] for i in group_b]
+            sibling.values = [values[i] for i in group_b]
+        else:
+            children = node.children
+            node.rects = [rects[i] for i in group_a]
+            node.children = [children[i] for i in group_a]
+            sibling.rects = [rects[i] for i in group_b]
+            sibling.children = [children[i] for i in group_b]
+        node.recompute_bounds()
+        sibling.recompute_bounds()
+        return sibling
+
+    # ------------------------------------------------------------------ #
+    # Bulk load
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def bulk_load(
+        cls,
+        entries: Iterable[tuple[Rect, object]],
+        max_entries: int = 16,
+    ) -> "RTree":
+        """Sort-Tile-Recursive bulk load: sort by x, tile into vertical
+        slices, sort each slice by y, pack leaves, build upward."""
+        tree = cls(max_entries=max_entries)
+        items = list(entries)
+        tree._size = len(items)
+        if not items:
+            return tree
+        capacity = max_entries
+        leaf_count = math.ceil(len(items) / capacity)
+        slice_count = math.ceil(math.sqrt(leaf_count))
+        per_slice = math.ceil(len(items) / slice_count)
+        items.sort(key=lambda item: (item[0].min_x + item[0].max_x))
+        leaves: list[_Node] = []
+        for s in range(0, len(items), per_slice):
+            chunk = sorted(
+                items[s : s + per_slice],
+                key=lambda item: (item[0].min_y + item[0].max_y),
+            )
+            for off in range(0, len(chunk), capacity):
+                leaf = _Node(leaf=True)
+                for rect, value in chunk[off : off + capacity]:
+                    leaf.rects.append(rect)
+                    leaf.values.append(value)
+                leaf.recompute_bounds()
+                leaves.append(leaf)
+        level = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for off in range(0, len(level), capacity):
+                parent = _Node(leaf=False)
+                for child in level[off : off + capacity]:
+                    assert child.bounds is not None
+                    parent.rects.append(child.bounds)
+                    parent.children.append(child)
+                parent.recompute_bounds()
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def search(self, window: Rect) -> Iterator[object]:
+        """Values whose rectangles intersect ``window``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.nodes_visited += 1
+            if node.bounds is not None and not node.bounds.intersects(window):
+                continue
+            if node.leaf:
+                for rect, value in zip(node.rects, node.values):
+                    self.entries_inspected += 1
+                    if rect.intersects(window):
+                        yield value
+            else:
+                for rect, child in zip(node.rects, node.children):
+                    if rect.intersects(window):
+                        stack.append(child)
+
+    def search_dominating(self, qx: float, qy: float) -> Iterator[object]:
+        """Values at points ``(x, y)`` with ``x <= qx`` and ``y >= qy``.
+
+        For FIX feature points ``(λ_min, λ_max)`` this is exactly the
+        range-containment predicate of Section 3.4.
+        """
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.nodes_visited += 1
+            if node.bounds is not None and not node.bounds.intersects_quarter_plane(
+                qx, qy
+            ):
+                continue
+            if node.leaf:
+                for rect, value in zip(node.rects, node.values):
+                    self.entries_inspected += 1
+                    if rect.min_x <= qx and rect.max_y >= qy:
+                        yield value
+            else:
+                for rect, child in zip(node.rects, node.children):
+                    if rect.intersects_quarter_plane(qx, qy):
+                        stack.append(child)
+
+    def height(self) -> int:
+        """Levels from root to leaf."""
+        levels = 1
+        node = self._root
+        while not node.leaf:
+            levels += 1
+            node = node.children[0]
+        return levels

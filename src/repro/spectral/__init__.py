@@ -1,0 +1,50 @@
+"""Spectral features of twig patterns (Section 3 of the paper).
+
+Pipeline: a twig pattern (bisimulation graph) is translated into an
+**anti-symmetric** matrix whose entry ``M[i, j]`` is a per-edge-label
+integer weight and ``M[j, i]`` its negation (Section 3.2).  Multiplying
+by the imaginary unit yields a Hermitian matrix with a real spectrum, and
+Theorem 3's interlacing property guarantees that the eigenvalue range of
+an induced subpattern is contained in that of the containing pattern —
+the no-false-negative pruning rule.  The feature key actually indexed is
+``(root label, λ_max, λ_min)`` (Section 3.4).
+
+* :class:`~repro.spectral.encoding.EdgeLabelEncoder` — stable
+  (parent label, child label) → weight assignment shared by index build
+  and query time.
+* :func:`~repro.spectral.matrix.pattern_matrix` — graph → anti-symmetric
+  ``numpy`` matrix.
+* :func:`~repro.spectral.eigen.eigenvalue_range` /
+  :func:`~repro.spectral.eigen.spectrum` — λ extraction via the Hermitian
+  trick.
+* :class:`~repro.spectral.features.FeatureRange` /
+  :class:`~repro.spectral.features.FeatureKey` — the index key, the
+  containment predicate with its round-off guard band, and the
+  all-covering fallback range for over-large patterns.
+"""
+
+from repro.spectral.encoding import EdgeLabelEncoder
+from repro.spectral.eigen import eigenvalue_range, hermitian_of, spectrum
+from repro.spectral.features import (
+    ALL_COVERING_RANGE,
+    DEFAULT_GUARD_BAND,
+    FeatureKey,
+    FeatureRange,
+    pattern_features,
+    spectrum_contains,
+)
+from repro.spectral.matrix import pattern_matrix
+
+__all__ = [
+    "ALL_COVERING_RANGE",
+    "DEFAULT_GUARD_BAND",
+    "EdgeLabelEncoder",
+    "FeatureKey",
+    "FeatureRange",
+    "eigenvalue_range",
+    "hermitian_of",
+    "pattern_features",
+    "pattern_matrix",
+    "spectrum",
+    "spectrum_contains",
+]

@@ -1,0 +1,72 @@
+"""Edge-label encoding (Section 3.2).
+
+Vertex labels are folded into *edge weights*: each distinct ordered pair
+``(parent label, child label)`` gets a distinct positive integer.  As the
+paper notes, as long as different edge labels map to different weights,
+the weighted directed graph can be translated back to the labeled graph,
+so no structural information is lost.
+
+The encoder must be **shared** between index construction and query
+processing — Theorem 3's interlacing argument compares matrices whose
+common edges carry *identical* weights.  It is therefore part of the
+persisted index state (:meth:`to_dict` / :meth:`from_dict`), and it keeps
+assigning fresh codes on first sight so that query-only edge pairs (which
+can never match anything) still encode deterministically.
+"""
+
+from __future__ import annotations
+
+
+class EdgeLabelEncoder:
+    """Assign stable integer weights to ``(parent_label, child_label)`` pairs.
+
+    Weights start at 1 (0 is reserved to mean "no edge" in the matrix) and
+    grow densely in first-seen order.
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict[tuple[str, str], int] = {}
+
+    def encode(self, parent_label: str, child_label: str) -> int:
+        """Return the weight for an edge, assigning a fresh one if new."""
+        key = (parent_label, child_label)
+        code = self._codes.get(key)
+        if code is None:
+            code = len(self._codes) + 1
+            self._codes[key] = code
+        return code
+
+    def lookup(self, parent_label: str, child_label: str) -> int | None:
+        """Return the weight for an edge, or ``None`` if never seen.
+
+        Query-side feature extraction uses this to detect edges that do
+        not occur anywhere in the database: such a query can be answered
+        with an empty result immediately.
+        """
+        return self._codes.get((parent_label, child_label))
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._codes
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, int]:
+        """Serialize to a flat dict (labels joined by an unlikely separator)."""
+        return {f"{p}\x1f{c}": code for (p, c), code in self._codes.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "EdgeLabelEncoder":
+        """Reconstruct an encoder serialized by :meth:`to_dict`."""
+        encoder = cls()
+        for key, code in data.items():
+            parent, _, child = key.partition("\x1f")
+            encoder._codes[(parent, child)] = code
+        return encoder
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EdgeLabelEncoder({len(self._codes)} edge labels)"

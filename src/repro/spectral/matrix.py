@@ -1,0 +1,55 @@
+"""Anti-symmetric matrix representation of a twig pattern (Section 3.2).
+
+Each reachable vertex of the bisimulation graph gets a matrix dimension
+(the assignment is arbitrary up to permutation, which leaves eigenvalues
+invariant; we use discovery order for determinism).  An edge ``(u, v)``
+with encoded weight ``w`` sets ``M[i, j] = w`` and ``M[j, i] = -w``; all
+diagonal entries are 0 because the graph is acyclic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PatternTooLargeError
+from repro.bisim.dag import reachable_vertices
+from repro.bisim.graph import BisimGraph
+from repro.spectral.encoding import EdgeLabelEncoder
+
+
+def pattern_matrix(
+    graph: BisimGraph,
+    encoder: EdgeLabelEncoder,
+    max_vertices: int | None = None,
+) -> np.ndarray:
+    """Build the anti-symmetric matrix of ``graph`` under ``encoder``.
+
+    Args:
+        graph: the twig pattern (bisimulation graph).
+        encoder: shared edge-label encoder; unseen edge labels are
+            assigned fresh codes (see
+            :class:`~repro.spectral.encoding.EdgeLabelEncoder`).
+        max_vertices: optional cap; exceeding it raises
+            :class:`~repro.errors.PatternTooLargeError` so index
+            construction can fall back to the all-covering range.
+
+    Returns:
+        An ``(n, n)`` float64 array with ``M.T == -M``.
+    """
+    vertices = reachable_vertices(graph.root)
+    n = len(vertices)
+    if max_vertices is not None and n > max_vertices:
+        raise PatternTooLargeError(
+            f"pattern has {n} vertices, above the cap of {max_vertices}",
+            size=n,
+        )
+    index_of = {vertex.vid: i for i, vertex in enumerate(vertices)}
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for parent in vertices:
+        i = index_of[parent.vid]
+        for child in parent.children:
+            j = index_of[child.vid]
+            weight = float(encoder.encode(parent.label, child.label))
+            matrix[i, j] = weight
+            matrix[j, i] = -weight
+    return matrix

@@ -1,0 +1,36 @@
+"""Paged storage engine.
+
+The paper's FIX prototype sits on Berkeley DB plus a native XML store;
+here the whole stack is built from scratch:
+
+* :class:`~repro.storage.pager.Pager` — fixed-size pages over a file (or
+  in memory), with an LRU buffer pool and read/write counters.  The I/O
+  counters are what the experiment harness reports as the
+  implementation-independent I/O cost of clustered vs. unclustered
+  access.
+* :class:`~repro.storage.records.RecordFile` — slotted pages with
+  overflow chaining for records larger than a page.
+* :class:`~repro.storage.primary.PrimaryXMLStore` — the *primary storage*
+  of Figure 3: documents serialized as records, addressed by
+  :class:`~repro.storage.primary.NodePointer` (doc id + preorder id),
+  which is the ``start_ptr`` flowing through Algorithm 1.
+* :class:`~repro.storage.clustered.ClusteredStore` — the redundant,
+  key-ordered copy of indexed units used by the clustered FIX index
+  (Figure 4).
+"""
+
+from repro.storage.clustered import ClusteredStore
+from repro.storage.pager import PAGE_SIZE, Pager, PagerStats
+from repro.storage.primary import NodePointer, PrimaryXMLStore
+from repro.storage.records import RecordFile, RecordPointer
+
+__all__ = [
+    "PAGE_SIZE",
+    "ClusteredStore",
+    "NodePointer",
+    "Pager",
+    "PagerStats",
+    "PrimaryXMLStore",
+    "RecordFile",
+    "RecordPointer",
+]

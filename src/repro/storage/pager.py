@@ -1,0 +1,262 @@
+"""Fixed-size page manager with an LRU buffer pool.
+
+All persistent structures (record files, the B+tree) allocate and access
+pages exclusively through a :class:`Pager`.  The pager counts *logical*
+accesses and *physical* (cache-miss) accesses separately; the experiment
+harness uses these counters to report I/O behaviour — e.g. the clustered
+index's sequential advantage — independently of wall-clock noise.
+
+A pager can be file-backed or purely in-memory (``path=None``).  The
+in-memory mode still goes through the same buffer-pool accounting, so
+benchmarks measuring page-touch counts behave identically.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import PageError
+
+#: Default page size in bytes.  4 KiB matches the paper-era commodity
+#: filesystem block size the original Berkeley DB deployment would use.
+PAGE_SIZE = 4096
+
+
+@dataclass
+class PagerStats:
+    """Access counters, all monotonically increasing.
+
+    Attributes:
+        logical_reads: every ``read`` call.
+        physical_reads: reads that missed the buffer pool.
+        logical_writes: every ``write`` call.
+        physical_writes: dirty-page evictions plus final flush writes.
+        allocations: pages ever allocated.
+    """
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    logical_writes: int = 0
+    physical_writes: int = 0
+    allocations: int = 0
+
+    def snapshot(self) -> "PagerStats":
+        """A copy frozen at the current counts (for before/after deltas)."""
+        return PagerStats(
+            self.logical_reads,
+            self.physical_reads,
+            self.logical_writes,
+            self.physical_writes,
+            self.allocations,
+        )
+
+    def delta(self, before: "PagerStats") -> "PagerStats":
+        """Counter difference ``self - before``."""
+        return PagerStats(
+            self.logical_reads - before.logical_reads,
+            self.physical_reads - before.physical_reads,
+            self.logical_writes - before.logical_writes,
+            self.physical_writes - before.physical_writes,
+            self.allocations - before.allocations,
+        )
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    dirty: bool = field(default=False)
+
+
+class Pager:
+    """Page allocator and buffer pool.
+
+    Args:
+        path: backing file path, or ``None`` for a purely in-memory pager.
+        page_size: bytes per page.
+        cache_pages: buffer-pool capacity in pages; only meaningful for
+            file-backed pagers (the in-memory pager keeps everything).
+    """
+
+    def __init__(
+        self,
+        path: str | None = None,
+        page_size: int = PAGE_SIZE,
+        cache_pages: int = 256,
+    ) -> None:
+        if page_size < 64:
+            raise PageError(f"page size {page_size} too small")
+        self.page_size = page_size
+        self.stats = PagerStats()
+        self._path = path
+        self._cache_pages = cache_pages
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._page_count = 0
+        self._closed = False
+        if path is None:
+            self._fd: int | None = None
+        else:
+            self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+            size = os.fstat(self._fd).st_size
+            if size % page_size:
+                raise PageError(
+                    f"file size {size} is not a multiple of page size {page_size}"
+                )
+            self._page_count = size // page_size
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return self._page_count
+
+    @property
+    def in_memory(self) -> bool:
+        """True when there is no backing file."""
+        return self._fd is None
+
+    def allocate(self) -> int:
+        """Allocate a fresh zeroed page and return its id."""
+        self._check_open()
+        page_id = self._page_count
+        self._page_count += 1
+        self.stats.allocations += 1
+        self._install(page_id, bytearray(self.page_size), dirty=True)
+        return page_id
+
+    def read(self, page_id: int) -> bytearray:
+        """Return the page contents (a live buffer; mutate then ``write``).
+
+        Raises:
+            PageError: for out-of-range ids.
+        """
+        self._check_open()
+        self._check_range(page_id)
+        self.stats.logical_reads += 1
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            return frame.data
+        self.stats.physical_reads += 1
+        data = self._read_backing(page_id)
+        self._install(page_id, data, dirty=False)
+        return data
+
+    def write(self, page_id: int, data: bytes | bytearray) -> None:
+        """Replace the page contents.
+
+        Raises:
+            PageError: for out-of-range ids or wrong-sized data.
+        """
+        self._check_open()
+        self._check_range(page_id)
+        if len(data) != self.page_size:
+            raise PageError(
+                f"write of {len(data)} bytes to page of {self.page_size}"
+            )
+        self.stats.logical_writes += 1
+        buffer = data if isinstance(data, bytearray) else bytearray(data)
+        self._install(page_id, buffer, dirty=True)
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Mark an in-pool page as modified in place (after mutating the
+        buffer returned by :meth:`read`)."""
+        self._check_open()
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise PageError(f"page {page_id} not resident; read it first")
+        frame.dirty = True
+        self.stats.logical_writes += 1
+
+    def flush(self) -> None:
+        """Write every dirty page to the backing file (no-op in memory)."""
+        self._check_open()
+        if self._fd is None:
+            return
+        for page_id, frame in self._frames.items():
+            if frame.dirty:
+                self._write_backing(page_id, frame.data)
+                frame.dirty = False
+
+    def close(self) -> None:
+        """Flush and release the backing file."""
+        if self._closed:
+            return
+        self.flush()
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+        self._closed = True
+
+    def size_bytes(self) -> int:
+        """Total size of the paged store in bytes."""
+        return self._page_count * self.page_size
+
+    def copy_to(self, path: str) -> None:
+        """Materialize every page into a file at ``path``.
+
+        Used to persist in-memory pagers (flush dirty frames first when
+        copying a file-backed pager so the copy is current).
+        """
+        self.flush()
+        with open(path, "wb") as handle:
+            for page_id in range(self._page_count):
+                handle.write(bytes(self.read(page_id)))
+
+    def __enter__(self) -> "Pager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PageError("pager is closed")
+
+    def _check_range(self, page_id: int) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise PageError(
+                f"page {page_id} out of range (have {self._page_count} pages)"
+            )
+
+    def _install(self, page_id: int, data: bytearray, dirty: bool) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.data = data
+            frame.dirty = frame.dirty or dirty
+            self._frames.move_to_end(page_id)
+        else:
+            self._frames[page_id] = _Frame(data, dirty)
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        if self._fd is None:
+            return  # in-memory pager keeps everything resident
+        while len(self._frames) > self._cache_pages:
+            victim_id, victim = self._frames.popitem(last=False)
+            if victim.dirty:
+                self._write_backing(victim_id, victim.data)
+
+    def _read_backing(self, page_id: int) -> bytearray:
+        if self._fd is None:
+            # In-memory pager: a miss can only mean the frame was never
+            # created, which _install prevents; treat as zero page.
+            return bytearray(self.page_size)
+        data = os.pread(self._fd, self.page_size, page_id * self.page_size)
+        if len(data) < self.page_size:
+            # Allocated but never flushed past EOF: zero-extend.
+            data = data.ljust(self.page_size, b"\x00")
+        return bytearray(data)
+
+    def _write_backing(self, page_id: int, data: bytearray) -> None:
+        assert self._fd is not None
+        os.pwrite(self._fd, bytes(data), page_id * self.page_size)
+        self.stats.physical_writes += 1

@@ -1,0 +1,53 @@
+"""In-memory XML data model, parser, and SAX-style event streams.
+
+This subpackage is the substrate that the rest of the reproduction is built
+on.  The paper's index-construction algorithm (Algorithm 1) is a single-pass
+algorithm over an *event stream* — a sequence of open/text/close events like
+the ones a SAX parser emits — so the event abstraction
+(:mod:`repro.xmltree.events`) is first-class here: trees, files, and the
+bisimulation-graph "traveler" of Section 4.4 all produce the same stream
+type and are interchangeable as inputs to the bisimulation builder.
+
+Public surface:
+
+* :class:`~repro.xmltree.model.Element`, :class:`~repro.xmltree.model.Text`,
+  :class:`~repro.xmltree.model.Document` — the node types.
+* :func:`~repro.xmltree.parser.parse_xml` / ``parse_xml_file`` — a
+  dependency-free XML parser (elements, attributes, text, CDATA, comments,
+  processing instructions, the five predefined entities, and numeric
+  character references).
+* :func:`~repro.xmltree.serialize.serialize` — the inverse of the parser.
+* :func:`~repro.xmltree.events.tree_events` — walk a tree as events.
+* :class:`~repro.xmltree.builder.TreeBuilder` — assemble a tree from events.
+"""
+
+from repro.xmltree.builder import TreeBuilder, tree_from_events
+from repro.xmltree.events import (
+    CloseEvent,
+    Event,
+    OpenEvent,
+    TextEvent,
+    tree_events,
+)
+from repro.xmltree.model import Document, Element, Node, Text
+from repro.xmltree.parser import parse_xml, parse_xml_events, parse_xml_file
+from repro.xmltree.serialize import serialize, serialize_fragment
+
+__all__ = [
+    "CloseEvent",
+    "Document",
+    "Element",
+    "Event",
+    "Node",
+    "OpenEvent",
+    "Text",
+    "TextEvent",
+    "TreeBuilder",
+    "parse_xml",
+    "parse_xml_events",
+    "parse_xml_file",
+    "serialize",
+    "serialize_fragment",
+    "tree_events",
+    "tree_from_events",
+]

@@ -1,0 +1,168 @@
+"""SAX-style event streams.
+
+Algorithm 1 of the paper (CONSTRUCT-ENTRIES) is specified over an *event
+stream* ``X``: a sequence of open and close events, each open event
+carrying the element label and a pointer into primary storage
+(``x.start_ptr``).  We model that contract directly:
+
+* :class:`OpenEvent` — start of an element; carries ``label`` and
+  ``start_ptr`` (the element's preorder id, which is what our primary
+  store uses as a pointer).
+* :class:`TextEvent` — character data; carries the string value and the
+  text node's pointer.  The value-extension of Section 4.6 turns these
+  into synthetic open/close pairs with hashed labels; the pure structural
+  index ignores them.
+* :class:`CloseEvent` — end of an element.
+
+Any iterable of events is a valid stream.  :func:`tree_events` adapts an
+in-memory tree; the XML parser and the bisimulation traveler produce the
+same event types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Union
+
+from repro.xmltree.model import Element, Text
+
+
+class OpenEvent:
+    """Start of an element with tag ``label`` at storage pointer ``start_ptr``."""
+
+    __slots__ = ("label", "start_ptr")
+
+    def __init__(self, label: str, start_ptr: int = -1) -> None:
+        self.label = label
+        self.start_ptr = start_ptr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Open({self.label!r}@{self.start_ptr})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, OpenEvent)
+            and other.label == self.label
+            and other.start_ptr == self.start_ptr
+        )
+
+    def __hash__(self) -> int:
+        return hash((OpenEvent, self.label, self.start_ptr))
+
+
+class CloseEvent:
+    """End of the most recently opened element with tag ``label``."""
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Close({self.label!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CloseEvent) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash((CloseEvent, self.label))
+
+
+class TextEvent:
+    """Character data ``value`` belonging to the currently open element."""
+
+    __slots__ = ("value", "start_ptr")
+
+    def __init__(self, value: str, start_ptr: int = -1) -> None:
+        self.value = value
+        self.start_ptr = start_ptr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shown = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        return f"Text({shown!r}@{self.start_ptr})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TextEvent)
+            and other.value == self.value
+            and other.start_ptr == self.start_ptr
+        )
+
+    def __hash__(self) -> int:
+        return hash((TextEvent, self.value, self.start_ptr))
+
+
+Event = Union[OpenEvent, CloseEvent, TextEvent]
+
+
+def tree_events(root: Element, include_text: bool = True) -> Iterator[Event]:
+    """Walk the subtree rooted at ``root`` and yield its event stream.
+
+    Events appear in document order: ``OpenEvent`` on entering an element,
+    ``TextEvent`` for each text child in place, ``CloseEvent`` on leaving.
+    ``start_ptr`` of each event is the node's preorder id, so a consumer
+    can map events back into the primary store.
+
+    Args:
+        root: subtree root.
+        include_text: when ``False`` text nodes are skipped (the pure
+            structural index does not care about them).
+    """
+    # Explicit stack; ``None`` sentinel marks a pending close.
+    stack: list[Element | None] = [root]
+    open_labels: list[str] = []
+    while stack:
+        node = stack.pop()
+        if node is None:
+            yield CloseEvent(open_labels.pop())
+            continue
+        yield OpenEvent(node.tag, node.node_id)
+        open_labels.append(node.tag)
+        stack.append(None)
+        for child in reversed(node.children):
+            if isinstance(child, Element):
+                stack.append(child)
+        if include_text:
+            # Text events are emitted immediately after the open event, in
+            # document order relative to each other.  (Exact interleaving
+            # with element children does not matter to any consumer in
+            # this package: the bisimulation builder treats text children
+            # as an unordered set just like element children.)
+            for child in node.children:
+                if isinstance(child, Text):
+                    yield TextEvent(child.value, child.node_id)
+
+
+def validate_events(events: Iterator[Event]) -> Iterator[Event]:
+    """Pass events through, checking well-formedness.
+
+    Raises :class:`repro.errors.BisimulationError` on a close event whose
+    label does not match the innermost open element, on a close with no
+    open element, or on a stream that ends with unclosed elements.
+    Useful when consuming untrusted streams.
+    """
+    from repro.errors import BisimulationError
+
+    depth_stack: list[str] = []
+    for event in events:
+        if isinstance(event, OpenEvent):
+            depth_stack.append(event.label)
+        elif isinstance(event, CloseEvent):
+            if not depth_stack:
+                raise BisimulationError(
+                    f"close event {event.label!r} with no open element"
+                )
+            expected = depth_stack.pop()
+            if expected != event.label:
+                raise BisimulationError(
+                    f"close event {event.label!r} does not match open "
+                    f"element {expected!r}"
+                )
+        elif isinstance(event, TextEvent):
+            if not depth_stack:
+                raise BisimulationError("text event outside any element")
+        yield event
+    if depth_stack:
+        raise BisimulationError(
+            f"event stream ended with {len(depth_stack)} unclosed element(s)"
+        )

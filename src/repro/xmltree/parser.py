@@ -1,0 +1,230 @@
+"""A dependency-free, event-producing XML parser.
+
+Covers the subset of XML needed by the reproduction (and by the paper's
+data sets): elements, attributes, character data, CDATA sections,
+comments, processing instructions, an optional XML declaration and
+DOCTYPE (both skipped), the five predefined entities, and decimal /
+hexadecimal character references.  Namespaces are treated lexically
+(prefixed names are kept verbatim as tags), matching how the paper
+treats labels.
+
+The parser is written as a generator of events
+(:func:`parse_xml_events`), mirroring a SAX push parser; the tree API
+(:func:`parse_xml`) is a thin :class:`~repro.xmltree.builder.TreeBuilder`
+on top.  Whitespace-only text between elements is dropped — the paper's
+data model has no use for indentation text nodes, and keeping them would
+distort element/text statistics.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+from repro.errors import XMLSyntaxError
+from repro.xmltree.builder import tree_from_events
+from repro.xmltree.events import CloseEvent, Event, OpenEvent, TextEvent
+from repro.xmltree.model import Document
+
+# XML names: the practical superset — ASCII name chars plus everything
+# above U+0080 (the spec's NameStartChar ranges are almost exactly that).
+_NAME_RE = re.compile(r"[A-Za-z_:\u0080-\U0010FFFF][-A-Za-z0-9._:\u0080-\U0010FFFF]*")
+_ATTR_RE = re.compile(
+    r"""\s+([A-Za-z_:\u0080-\U0010FFFF][-A-Za-z0-9._:\u0080-\U0010FFFF]*)"""
+    r"""\s*=\s*("([^"]*)"|'([^']*)')"""
+)
+_ENTITY_RE = re.compile(r"&(#x[0-9a-fA-F]+|#[0-9]+|[A-Za-z]+);")
+
+_PREDEFINED = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+def _expand_entities(text: str, base_pos: int) -> str:
+    """Expand predefined and numeric character references in ``text``."""
+
+    def repl(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        try:
+            return _PREDEFINED[body]
+        except KeyError:
+            raise XMLSyntaxError(
+                f"unknown entity &{body};", base_pos + match.start()
+            ) from None
+
+    if "&" not in text:
+        return text
+    return _ENTITY_RE.sub(repl, text)
+
+
+def parse_xml_events(source: str) -> Iterator[Event]:
+    """Tokenize ``source`` and yield open/text/close events.
+
+    ``start_ptr`` on the emitted events is a running preorder counter
+    assigned in document order (elements and text nodes share the
+    sequence), so it agrees with the ids :meth:`Document.renumber` would
+    assign to the resulting tree.
+
+    Raises:
+        XMLSyntaxError: on malformed input.
+    """
+    pos = 0
+    length = len(source)
+    counter = 0
+    stack: list[str] = []
+    seen_root = False
+
+    while pos < length:
+        lt = source.find("<", pos)
+        if lt == -1:
+            trailing = source[pos:]
+            if trailing.strip():
+                raise XMLSyntaxError("character data after document end", pos)
+            break
+        # Character data before the next markup.
+        if lt > pos:
+            raw = source[pos:lt]
+            if raw.strip():
+                if not stack:
+                    raise XMLSyntaxError("character data outside root element", pos)
+                yield TextEvent(_expand_entities(raw.strip(), pos), counter)
+                counter += 1
+        pos = lt
+        if source.startswith("<!--", pos):
+            end = source.find("-->", pos + 4)
+            if end == -1:
+                raise XMLSyntaxError("unterminated comment", pos)
+            pos = end + 3
+            continue
+        if source.startswith("<![CDATA[", pos):
+            end = source.find("]]>", pos + 9)
+            if end == -1:
+                raise XMLSyntaxError("unterminated CDATA section", pos)
+            if not stack:
+                raise XMLSyntaxError("CDATA outside root element", pos)
+            value = source[pos + 9 : end]
+            if value.strip():
+                yield TextEvent(value.strip(), counter)
+                counter += 1
+            pos = end + 3
+            continue
+        if source.startswith("<!DOCTYPE", pos):
+            pos = _skip_doctype(source, pos)
+            continue
+        if source.startswith("<?", pos):
+            end = source.find("?>", pos + 2)
+            if end == -1:
+                raise XMLSyntaxError("unterminated processing instruction", pos)
+            pos = end + 2
+            continue
+        if source.startswith("</", pos):
+            match = _NAME_RE.match(source, pos + 2)
+            if match is None:
+                raise XMLSyntaxError("malformed end tag", pos)
+            name = match.group(0)
+            close = source.find(">", match.end())
+            if close == -1:
+                raise XMLSyntaxError("unterminated end tag", pos)
+            if source[match.end() : close].strip():
+                raise XMLSyntaxError("junk in end tag", match.end())
+            if not stack:
+                raise XMLSyntaxError(f"end tag </{name}> with no open element", pos)
+            expected = stack.pop()
+            if expected != name:
+                raise XMLSyntaxError(
+                    f"end tag </{name}> does not match <{expected}>", pos
+                )
+            yield CloseEvent(name)
+            pos = close + 1
+            continue
+        # Start tag (possibly self-closing).
+        match = _NAME_RE.match(source, pos + 1)
+        if match is None:
+            raise XMLSyntaxError("malformed start tag", pos)
+        name = match.group(0)
+        if seen_root and not stack:
+            raise XMLSyntaxError("multiple root elements", pos)
+        scan = match.end()
+        attributes: dict[str, str] = {}
+        while True:
+            attr = _ATTR_RE.match(source, scan)
+            if attr is None:
+                break
+            value = attr.group(3) if attr.group(3) is not None else attr.group(4)
+            attributes[attr.group(1)] = _expand_entities(value, scan)
+            scan = attr.end()
+        tail = source.find(">", scan)
+        if tail == -1:
+            raise XMLSyntaxError("unterminated start tag", pos)
+        between = source[scan:tail].strip()
+        self_closing = between == "/" or source[tail - 1] == "/"
+        if between not in ("", "/"):
+            raise XMLSyntaxError(f"junk in start tag <{name}>", scan)
+        event = OpenEvent(name, counter)
+        event_attrs = attributes  # attached below via builder protocol
+        counter += 1
+        seen_root = True
+        yield _with_attributes(event, event_attrs)
+        if self_closing:
+            yield CloseEvent(name)
+        else:
+            stack.append(name)
+        pos = tail + 1
+
+    if stack:
+        raise XMLSyntaxError(
+            f"document ended with {len(stack)} unclosed element(s): "
+            f"<{stack[-1]}> still open",
+            length,
+        )
+    if not seen_root:
+        raise XMLSyntaxError("no root element found", 0)
+
+
+class OpenEventWithAttributes(OpenEvent):
+    """An :class:`OpenEvent` that also carries parsed attributes.
+
+    Consumers that do not care about attributes (everything except the
+    tree builder) treat this exactly like a plain ``OpenEvent``.
+    """
+
+    __slots__ = ("attributes",)
+
+    def __init__(self, label: str, start_ptr: int, attributes: dict[str, str]) -> None:
+        super().__init__(label, start_ptr)
+        self.attributes = attributes
+
+
+def _with_attributes(event: OpenEvent, attributes: dict[str, str]) -> OpenEvent:
+    if not attributes:
+        return event
+    return OpenEventWithAttributes(event.label, event.start_ptr, attributes)
+
+
+def _skip_doctype(source: str, pos: int) -> int:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    i = pos
+    while i < len(source):
+        ch = source[i]
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return i + 1
+        i += 1
+    raise XMLSyntaxError("unterminated DOCTYPE", pos)
+
+
+def parse_xml(source: str, doc_id: int = 0) -> Document:
+    """Parse an XML string into a :class:`Document`."""
+    return tree_from_events(parse_xml_events(source), doc_id=doc_id)
+
+
+def parse_xml_file(path: str, doc_id: int = 0, encoding: str = "utf-8") -> Document:
+    """Parse the XML file at ``path`` into a :class:`Document`."""
+    with open(path, encoding=encoding) as handle:
+        return parse_xml(handle.read(), doc_id=doc_id)

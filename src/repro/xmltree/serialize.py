@@ -1,0 +1,70 @@
+"""Serialize the in-memory model back to XML text.
+
+``parse_xml(serialize(doc))`` reproduces ``doc`` structurally (tags,
+attributes, stripped text) — this round-trip is property-tested.  The
+serializer is also what the primary storage engine uses to persist
+documents and subtrees as byte records.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.model import Document, Element, Node, Text
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, escaped in _ATTR_ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def serialize_fragment(root: Element, indent: int | None = None) -> str:
+    """Serialize the subtree rooted at ``root`` (no XML declaration).
+
+    Args:
+        root: subtree root element.
+        indent: when given, pretty-print with this many spaces per level;
+            when ``None`` (default) produce compact output with no
+            inter-element whitespace, which round-trips exactly because
+            the parser strips whitespace-only text.
+    """
+    parts: list[str] = []
+    _write(root, parts, 0, indent)
+    return "".join(parts)
+
+
+def serialize(document: Document, indent: int | None = None) -> str:
+    """Serialize a whole document, prefixed with an XML declaration."""
+    body = serialize_fragment(document.root, indent=indent)
+    newline = "\n" if indent is not None else ""
+    return f'<?xml version="1.0" encoding="UTF-8"?>{newline}{body}'
+
+
+def _write(node: Node, parts: list[str], level: int, indent: int | None) -> None:
+    pad = " " * (indent * level) if indent is not None else ""
+    newline = "\n" if indent is not None else ""
+    if isinstance(node, Text):
+        parts.append(f"{pad}{escape_text(node.value)}{newline}")
+        return
+    assert isinstance(node, Element)
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"'
+        for name, value in node.attributes.items()
+    )
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>{newline}")
+    for child in node.children:
+        _write(child, parts, level + 1, indent)
+    parts.append(f"{pad}</{node.tag}>{newline}")

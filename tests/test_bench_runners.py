@@ -1,0 +1,110 @@
+"""Smoke tests for the experiment harness at tiny scale: each runner
+must complete, return the right shape, and satisfy basic invariants.
+The full shape assertions live in ``benchmarks/``; these keep the
+harness itself under plain-pytest coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    format_table,
+    run_beta_sweep,
+    run_feature_ablation,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table1,
+    run_table2,
+)
+from repro.bench.reporting import megabytes, percent
+
+SCALE = 0.06
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["x", 1], ["yyyy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbb" in lines[2]
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) <= 2  # header/body aligned
+
+    def test_percent(self):
+        assert percent(0.12345) == "12.35%"
+        assert percent(1.0) == "100.00%"
+
+    def test_megabytes(self):
+        assert megabytes(1_500_000) == "1.50 MB"
+
+    def test_float_rendering(self):
+        text = format_table(["v"], [[1.23456789]])
+        assert "1.235" in text
+
+
+class TestTable1Runner:
+    def test_rows_and_invariants(self):
+        rows = run_table1(scale=SCALE, datasets=["xbench", "xmark"])
+        assert [row.dataset for row in rows] == ["xbench", "xmark"]
+        for row in rows:
+            assert row.elements > 0
+            assert row.construction_seconds > 0
+            assert row.clustered_bytes > row.unclustered_bytes > 0
+
+
+class TestTable2Runner:
+    def test_all_twelve_queries(self):
+        rows = run_table2(scale=SCALE)
+        assert len(rows) == 12
+        for row in rows:
+            assert 0.0 <= row.sel <= 1.0
+            assert 0.0 <= row.pp <= 1.0
+            assert 0.0 <= row.fpr <= 1.0
+
+
+class TestFigure5Runner:
+    def test_averages_bounded(self):
+        rows = run_figure5(scale=SCALE, queries=5, datasets=["xmark"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.queries > 0
+        assert 0.0 <= row.avg_pp <= 1.0
+        assert 0.0 <= row.avg_sel <= 1.0
+
+
+class TestFigure6Runner:
+    def test_rows_have_all_systems(self):
+        rows = run_figure6(scale=SCALE, repeats=1, datasets=["xmark"])
+        assert len(rows) == 4  # 4 xmark queries
+        for row in rows:
+            assert row.nok_seconds > 0
+            assert row.fix_unclustered_seconds > 0
+            assert row.fb_seconds > 0
+            assert row.fix_clustered_seconds > 0
+            assert row.candidate_count >= row.result_count
+            assert row.fix_u_pages_random == row.candidate_count
+
+
+class TestFigure7Runner:
+    def test_report_shape(self):
+        report = run_figure7(scale=SCALE, repeats=1)
+        assert len(report.rows) == 2
+        assert report.beta == 10
+        assert report.value_build_seconds > 0
+        assert report.structural_build_seconds > 0
+        for row in report.rows:
+            assert row.false_negatives == 0
+
+
+class TestAblationRunners:
+    def test_feature_ablation_monotone(self):
+        rows = run_feature_ablation(scale=SCALE, datasets=["xmark"])
+        assert rows
+        for row in rows:
+            assert row.cdt_spectrum <= row.cdt_range <= row.cdt_label_only <= row.ent
+
+    def test_beta_sweep(self):
+        rows = run_beta_sweep(scale=SCALE, betas=(2, 16))
+        assert [row.beta for row in rows] == [2, 16]
+        assert rows[0].encoder_size <= rows[1].encoder_size

@@ -1,0 +1,278 @@
+"""Unit tests for bisimulation-graph construction, the traveler, and DAG
+utilities.  These pin down the Section 2.2 semantics, including the
+paper's own worked example (Figure 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BisimulationError, PatternTooLargeError
+from repro.bisim import (
+    BisimGraphBuilder,
+    bisim_graph_of_document,
+    canonical_key,
+    depth_limited_graph,
+    edge_count,
+    graphs_isomorphic,
+    reachable_vertices,
+    topological_order,
+    traveler_events,
+)
+from repro.xmltree import CloseEvent, OpenEvent, TextEvent, parse_xml
+
+# The Figure 1 bibliography document.  Its bisimulation graph (Figure 2)
+# merges the book and inproceedings authors (both have only an
+# affiliation child) while keeping the two article authors separate.
+FIGURE1_XML = (
+    "<bib>"
+    "<article><author><address/><email/></author><title/></article>"
+    "<article><author><email/><affiliation/></author><title/></article>"
+    "<book><author><affiliation/><phone/></author><title/></book>"
+    "<www><title/><author><email/></author></www>"
+    "<inproceedings><author><affiliation/><phone/></author><title/></inproceedings>"
+    "</bib>"
+)
+
+
+def graph_of(xml: str, **kwargs):
+    return bisim_graph_of_document(parse_xml(xml), **kwargs)
+
+
+class TestBasicConstruction:
+    def test_single_element(self):
+        graph = graph_of("<a/>")
+        assert graph.vertex_count() == 1
+        assert graph.root.label == "a"
+        assert graph.root.is_leaf()
+        assert graph.depth() == 1
+
+    def test_identical_siblings_merge(self):
+        graph = graph_of("<a><b/><b/><b/></a>")
+        assert graph.vertex_count() == 2
+        assert graph.root.out_degree() == 1
+        assert graph.root.children[0].extent_size == 3
+
+    def test_distinct_subtrees_stay_separate(self):
+        graph = graph_of("<a><b><c/></b><b><d/></b></a>")
+        # a, b[c], b[d], c, d -> 5 classes
+        assert graph.vertex_count() == 5
+        labels = sorted(v.label for v in graph.vertices)
+        assert labels == ["a", "b", "b", "c", "d"]
+
+    def test_merging_is_by_child_set_not_multiset(self):
+        # <b><c/><c/></b> and <b><c/></b> have the same child *set* {c},
+        # so downward bisimulation merges them.
+        graph = graph_of("<a><b><c/><c/></b><b><c/></b></a>")
+        assert graph.vertex_count() == 3
+
+    def test_depth_matches_tree_depth_for_trees_without_sharing(self):
+        doc = parse_xml("<a><b><c><d/></c></b></a>")
+        graph = bisim_graph_of_document(doc)
+        assert graph.depth() == doc.max_depth() == 4
+
+    def test_extent_sizes_sum_to_element_count(self):
+        doc = parse_xml(FIGURE1_XML)
+        graph = bisim_graph_of_document(doc)
+        assert sum(v.extent_size for v in graph.vertices) == doc.element_count()
+
+    def test_recorded_extents_are_preorder_ids(self):
+        doc = parse_xml("<a><b/><b/></a>")
+        graph = bisim_graph_of_document(doc, record_extents=True)
+        b_vertex = next(v for v in graph.vertices if v.label == "b")
+        ids = sorted(e.node_id for e in doc.root.find_all("b"))
+        assert sorted(b_vertex.extent) == ids
+
+
+class TestFigure2Example:
+    """The paper's Figure 1 -> Figure 2 construction."""
+
+    def test_figure2_has_fifteen_vertices(self):
+        # Figure 2's caption-level claim: the example matrix is 15x15
+        # "because there are 15 vertices in the graph".
+        graph = graph_of(FIGURE1_XML)
+        assert graph.vertex_count() == 15
+
+    def test_book_and_inproceedings_authors_merge(self):
+        # Section 2.2: "the bisimulation graph clusters the two author
+        # vertices from book and inproceedings into one equivalence class".
+        graph = graph_of(FIGURE1_XML)
+        author_classes = [v for v in graph.vertices if v.label == "author"]
+        assert len(author_classes) == 4
+        merged = next(
+            v
+            for v in author_classes
+            if frozenset(c.label for c in v.children) == {"affiliation", "phone"}
+        )
+        assert merged.extent_size == 2
+
+    def test_all_title_leaves_merge(self):
+        graph = graph_of(FIGURE1_XML)
+        titles = [v for v in graph.vertices if v.label == "title"]
+        assert len(titles) == 1
+        assert titles[0].extent_size == 5
+
+
+class TestBuilderStreaming:
+    def test_close_returns_vertex_and_pointer(self):
+        builder = BisimGraphBuilder()
+        assert builder.feed(OpenEvent("a", 7)) is None
+        result = builder.feed(CloseEvent("a"))
+        assert result is not None
+        vertex, ptr = result
+        assert vertex.label == "a"
+        assert ptr == 7
+
+    def test_one_result_per_element(self):
+        doc = parse_xml(FIGURE1_XML)
+        from repro.xmltree import tree_events
+
+        builder = BisimGraphBuilder()
+        closed = [r for r in map(builder.feed, tree_events(doc.root)) if r]
+        assert len(closed) == doc.element_count()
+
+    def test_mismatched_close_raises(self):
+        builder = BisimGraphBuilder()
+        builder.feed(OpenEvent("a", 0))
+        with pytest.raises(BisimulationError):
+            builder.feed(CloseEvent("b"))
+
+    def test_orphan_close_raises(self):
+        with pytest.raises(BisimulationError):
+            BisimGraphBuilder().feed(CloseEvent("a"))
+
+    def test_unfinished_stream_raises(self):
+        builder = BisimGraphBuilder()
+        builder.feed(OpenEvent("a", 0))
+        with pytest.raises(BisimulationError):
+            builder.finish()
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(BisimulationError):
+            BisimGraphBuilder().finish()
+
+    def test_forest_gets_synthetic_root(self):
+        builder = BisimGraphBuilder()
+        for label in ("a", "b"):
+            builder.feed(OpenEvent(label, 0))
+            builder.feed(CloseEvent(label))
+        graph = builder.finish()
+        assert graph.root.label == BisimGraphBuilder.FOREST_LABEL
+        assert {c.label for c in graph.root.children} == {"a", "b"}
+
+    def test_text_ignored_without_mapping(self):
+        builder = BisimGraphBuilder()
+        builder.feed(OpenEvent("a", 0))
+        builder.feed(TextEvent("hello", 1))
+        builder.feed(CloseEvent("a"))
+        graph = builder.finish()
+        assert graph.vertex_count() == 1
+
+    def test_text_becomes_leaf_with_mapping(self):
+        builder = BisimGraphBuilder(text_label=lambda value: f"#v{len(value)}")
+        builder.feed(OpenEvent("a", 0))
+        builder.feed(TextEvent("hello", 1))
+        builder.feed(CloseEvent("a"))
+        graph = builder.finish()
+        assert graph.vertex_count() == 2
+        assert graph.root.children[0].label == "#v5"
+
+
+class TestTraveler:
+    def test_unlimited_unfolding_reproduces_graph(self):
+        graph = graph_of(FIGURE1_XML)
+        again = depth_limited_graph(graph.root, 0)
+        assert graphs_isomorphic(graph, again)
+
+    def test_depth_one_is_just_the_root(self):
+        graph = graph_of(FIGURE1_XML)
+        limited = depth_limited_graph(graph.root, 1)
+        assert limited.vertex_count() == 1
+        assert limited.root.label == "bib"
+
+    def test_depth_two_truncation_reminimizes(self):
+        # Depth-2 view of <a><b><c/></b><b><d/></b></a> at the root: both
+        # b classes truncate to a childless b, so they must re-merge.
+        graph = graph_of("<a><b><c/></b><b><d/></b></a>")
+        limited = depth_limited_graph(graph.root, 2)
+        assert limited.vertex_count() == 2
+        assert limited.depth() == 2
+
+    def test_event_stream_is_balanced(self):
+        graph = graph_of(FIGURE1_XML)
+        events = list(traveler_events(graph.root, 3))
+        opens = sum(1 for e in events if isinstance(e, OpenEvent))
+        closes = sum(1 for e in events if isinstance(e, CloseEvent))
+        assert opens == closes > 0
+
+    def test_max_opens_cap(self):
+        graph = graph_of(FIGURE1_XML)
+        with pytest.raises(PatternTooLargeError):
+            list(traveler_events(graph.root, 0, max_opens=3))
+
+    def test_depth_limit_bounds_result_depth(self):
+        graph = graph_of(FIGURE1_XML)
+        for limit in (1, 2, 3, 4):
+            limited = depth_limited_graph(graph.root, limit)
+            assert limited.depth() == min(limit, graph.depth())
+
+
+class TestDagUtilities:
+    def test_topological_order_parents_first(self):
+        graph = graph_of(FIGURE1_XML)
+        position = {v.vid: i for i, v in enumerate(topological_order(graph))}
+        for parent in graph.vertices:
+            for child in parent.children:
+                assert position[parent.vid] < position[child.vid]
+
+    def test_reachable_includes_all_for_document_graph(self):
+        graph = graph_of(FIGURE1_XML)
+        assert len(reachable_vertices(graph.root)) == graph.vertex_count()
+
+    def test_edge_count_matches_graph_method(self):
+        graph = graph_of(FIGURE1_XML)
+        assert edge_count(graph) == graph.edge_count()
+
+    def test_canonical_key_distinguishes_structure(self):
+        g1 = graph_of("<a><b/></a>")
+        g2 = graph_of("<a><c/></a>")
+        g3 = graph_of("<a><b/></a>")
+        assert canonical_key(g1.root) != canonical_key(g2.root)
+        assert canonical_key(g1.root) == canonical_key(g3.root)
+
+    def test_isomorphism_ignores_construction_order(self):
+        g1 = graph_of("<a><b><x/></b><c/></a>")
+        g2 = graph_of("<a><c/><b><x/></b></a>")
+        assert graphs_isomorphic(g1, g2)
+
+    def test_deep_graph_no_recursion_error(self):
+        depth = 5000
+        xml = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        graph = graph_of(xml)
+        assert graph.depth() == depth
+        # canonical_key is iterative and must survive this depth.
+        canonical_key(graph.root)
+
+
+class TestMinimality:
+    """The builder must produce the *minimal* bisimulation graph."""
+
+    @pytest.mark.parametrize(
+        "xml, expected_vertices",
+        [
+            ("<a/>", 1),
+            ("<a><a/></a>", 2),  # same label, different children
+            ("<r><x><y/></x><x><y/></x><x><y/></x></r>", 3),
+            ("<r><p><q/></p><p><q/><s/></p></r>", 5),
+        ],
+    )
+    def test_expected_class_counts(self, xml, expected_vertices):
+        assert graph_of(xml).vertex_count() == expected_vertices
+
+    def test_no_two_vertices_share_signature(self):
+        graph = graph_of(FIGURE1_XML)
+        signatures = {
+            (v.label, frozenset(c.vid for c in v.children)) for v in graph.vertices
+        }
+        assert len(signatures) == graph.vertex_count()

@@ -1,0 +1,126 @@
+"""Cross-validation of the single-pass bisimulation builder against an
+independent reference implementation (naive fixpoint partition
+refinement), plus equivalence properties that tie the two notions used
+in the paper together."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bisim import bisim_graph_of_document
+from repro.fb import fb_partition
+from repro.xmltree import Document, Element
+
+
+def reference_downward_bisim(document: Document) -> dict[int, int]:
+    """Coarsest downward bisimulation by naive fixpoint refinement:
+    start from the by-label partition and refine each node's block by
+    the *set* of its children's blocks until stable.  O(n^2)-ish and
+    obviously correct — the oracle for the streaming builder."""
+    elements = list(document.elements())
+    block: dict[int, int] = {}
+    interning: dict[object, int] = {}
+    for element in elements:
+        block[element.node_id] = interning.setdefault(element.tag, len(interning))
+    while True:
+        interning = {}
+        refined: dict[int, int] = {}
+        for element in elements:
+            signature = (
+                element.tag,
+                frozenset(block[c.node_id] for c in element.child_elements()),
+            )
+            refined[element.node_id] = interning.setdefault(
+                signature, len(interning)
+            )
+        if len(set(refined.values())) == len(set(block.values())):
+            return refined
+        block = refined
+
+
+def random_document(rng: random.Random, labels: list[str], size: int) -> Document:
+    root = Element(rng.choice(labels))
+    nodes = [root]
+    for _ in range(size):
+        parent = rng.choice(nodes)
+        child = parent.add_element(rng.choice(labels))
+        nodes.append(child)
+    return Document(root)
+
+
+def builder_partition(document: Document) -> dict[int, int]:
+    graph = bisim_graph_of_document(document, record_extents=True)
+    partition: dict[int, int] = {}
+    for vertex in graph.vertices:
+        for node_id in vertex.extent or []:
+            partition[node_id] = vertex.vid
+    return partition
+
+
+def partitions_equal(left: dict[int, int], right: dict[int, int]) -> bool:
+    """Same partition up to block renaming."""
+    if left.keys() != right.keys():
+        return False
+    mapping: dict[int, int] = {}
+    reverse: dict[int, int] = {}
+    for key in left:
+        a, b = left[key], right[key]
+        if mapping.setdefault(a, b) != b:
+            return False
+        if reverse.setdefault(b, a) != a:
+            return False
+    return True
+
+
+class TestBuilderAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=9999))
+    def test_streaming_builder_equals_fixpoint_oracle(self, size, seed):
+        rng = random.Random(seed)
+        document = random_document(rng, ["a", "b", "c"], size)
+        assert partitions_equal(
+            builder_partition(document), reference_downward_bisim(document)
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=9999))
+    def test_recursive_labels(self, size, seed):
+        # Single-label documents are the hardest case: blocks are
+        # distinguished purely by structure (and its depth strata).
+        rng = random.Random(seed)
+        document = random_document(rng, ["n"], size)
+        assert partitions_equal(
+            builder_partition(document), reference_downward_bisim(document)
+        )
+
+
+class TestFBRefinesDownwardBisim:
+    """F&B equivalence adds the backward condition, so the F&B partition
+    must always *refine* the downward bisimulation partition."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=9999))
+    def test_refinement_property(self, size, seed):
+        rng = random.Random(seed)
+        document = random_document(rng, ["a", "b"], size)
+        downward = builder_partition(document)
+        fandb = fb_partition(document)
+        # Two F&B-equivalent nodes must be downward-bisimilar.
+        blocks: dict[int, int] = {}
+        for node_id, fb_block in fandb.items():
+            if fb_block in blocks:
+                assert downward[node_id] == blocks[fb_block]
+            else:
+                blocks[fb_block] = downward[node_id]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=9999))
+    def test_fb_never_coarser(self, size, seed):
+        rng = random.Random(seed)
+        document = random_document(rng, ["a", "b", "c"], size)
+        downward_blocks = len(set(builder_partition(document).values()))
+        fb_blocks = len(set(fb_partition(document).values()))
+        assert fb_blocks >= downward_blocks

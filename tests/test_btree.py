@@ -1,0 +1,345 @@
+"""Unit, property, and stateful tests for the B+tree and key encodings."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BTreeError
+from repro.btree import (
+    BPlusTree,
+    decode_feature_key,
+    decode_float,
+    encode_feature_key,
+    encode_float,
+    label_upper_bound,
+)
+from repro.btree.node import InternalNode, LeafNode, deserialize_node
+from repro.storage import Pager
+
+
+# --------------------------------------------------------------------- #
+# Key encodings
+# --------------------------------------------------------------------- #
+
+
+class TestFloatEncoding:
+    @pytest.mark.parametrize(
+        "value",
+        [0.0, -0.0, 1.0, -1.0, 3.14159, -2.71828, 1e-300, -1e-300, 1e300,
+         math.inf, -math.inf],
+    )
+    def test_roundtrip(self, value):
+        assert decode_float(encode_float(value)) == value
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        st.floats(allow_nan=False),
+        st.floats(allow_nan=False),
+    )
+    def test_order_preserving(self, a, b):
+        ea, eb = encode_float(a), encode_float(b)
+        if a < b:
+            assert ea < eb
+        elif a > b:
+            assert ea > eb
+        # -0.0 == 0.0 but encodes differently; only assert byte equality
+        # for identical bit patterns.
+        elif str(a) == str(b):
+            assert ea == eb
+
+
+class TestFeatureKeyEncoding:
+    def test_roundtrip(self):
+        key = encode_feature_key("author", 3.5, -3.5)
+        assert decode_feature_key(key) == ("author", 3.5, -3.5)
+
+    def test_label_is_primary_sort_component(self):
+        assert encode_feature_key("a", 100.0, -100.0) < encode_feature_key(
+            "b", 0.0, 0.0
+        )
+
+    def test_lmax_is_secondary(self):
+        assert encode_feature_key("a", 1.0, 0.0) < encode_feature_key("a", 2.0, -9.0)
+
+    def test_prefix_label_sorts_before_extension(self):
+        assert encode_feature_key("ab", 9.0, -9.0) < encode_feature_key(
+            "abc", 0.0, 0.0
+        )
+
+    def test_label_upper_bound_brackets_label(self):
+        low = encode_feature_key("ab", -math.inf, -math.inf)
+        high = encode_feature_key("ab", math.inf, math.inf)
+        bound = label_upper_bound("ab")
+        other = encode_feature_key("abc", -math.inf, -math.inf)
+        assert low < high < bound < other
+
+    def test_nul_in_label_rejected(self):
+        with pytest.raises(BTreeError):
+            encode_feature_key("a\x00b", 0.0, 0.0)
+
+    def test_malformed_key_rejected(self):
+        with pytest.raises(BTreeError):
+            decode_feature_key(b"nonsense")
+
+    def test_unicode_label(self):
+        key = encode_feature_key("bücher", 1.0, -1.0)
+        assert decode_feature_key(key)[0] == "bücher"
+
+
+# --------------------------------------------------------------------- #
+# Node serialization
+# --------------------------------------------------------------------- #
+
+
+class TestNodeSerialization:
+    def test_leaf_roundtrip(self):
+        node = LeafNode([b"a", b"bb"], [b"1", b"22"], next_leaf=7)
+        again = LeafNode.deserialize(node.serialize(512))
+        assert again.keys == node.keys
+        assert again.values == node.values
+        assert again.next_leaf == 7
+
+    def test_empty_leaf_roundtrip(self):
+        node = LeafNode()
+        again = LeafNode.deserialize(node.serialize(256))
+        assert again.keys == [] and again.values == []
+
+    def test_internal_roundtrip(self):
+        node = InternalNode([b"m"], [3, 9])
+        again = InternalNode.deserialize(node.serialize(256))
+        assert again.keys == [b"m"]
+        assert again.children == [3, 9]
+
+    def test_internal_child_arity_enforced(self):
+        with pytest.raises(BTreeError):
+            InternalNode([b"a", b"b"], [1, 2])
+
+    def test_dispatch(self):
+        leaf = LeafNode([b"k"], [b"v"])
+        assert isinstance(deserialize_node(leaf.serialize(256)), LeafNode)
+        internal = InternalNode([], [0])
+        assert isinstance(deserialize_node(internal.serialize(256)), InternalNode)
+
+    def test_oversized_serialize_rejected(self):
+        node = LeafNode([b"x" * 300], [b"y" * 300])
+        with pytest.raises(BTreeError):
+            node.serialize(256)
+
+    def test_unknown_page_type_rejected(self):
+        with pytest.raises(BTreeError):
+            deserialize_node(b"\x09" + b"\x00" * 63)
+
+
+# --------------------------------------------------------------------- #
+# Tree behaviour
+# --------------------------------------------------------------------- #
+
+
+def small_tree() -> BPlusTree:
+    """A tree with tiny pages so splits happen early."""
+    return BPlusTree(Pager(page_size=256))
+
+
+class TestBPlusTreeBasics:
+    def test_insert_and_search(self):
+        tree = small_tree()
+        tree.insert(b"k1", b"v1")
+        assert tree.search(b"k1") == [b"v1"]
+        assert tree.search(b"k2") == []
+
+    def test_duplicates_accumulate(self):
+        tree = small_tree()
+        for i in range(5):
+            tree.insert(b"dup", f"v{i}".encode())
+        assert sorted(tree.search(b"dup")) == [f"v{i}".encode() for i in range(5)]
+
+    def test_len_tracks_entries(self):
+        tree = small_tree()
+        for i in range(10):
+            tree.insert(f"k{i}".encode(), b"v")
+        assert len(tree) == 10
+
+    def test_splits_grow_height(self):
+        tree = small_tree()
+        for i in range(200):
+            tree.insert(f"key{i:05d}".encode(), b"value")
+        assert tree.height() >= 2
+        assert tree.stats.splits > 0
+        tree.check_invariants()
+
+    def test_scan_is_sorted(self):
+        tree = small_tree()
+        keys = [f"{random.Random(7).random():.12f}".encode() for _ in range(1)]
+        rng = random.Random(7)
+        keys = [f"{rng.random():.12f}".encode() for _ in range(300)]
+        for key in keys:
+            tree.insert(key, b"v")
+        scanned = [key for key, _ in tree.scan()]
+        assert scanned == sorted(keys)
+
+    def test_range_scan_bounds(self):
+        tree = small_tree()
+        for i in range(100):
+            tree.insert(f"{i:03d}".encode(), str(i).encode())
+        result = [key for key, _ in tree.scan(start=b"010", end=b"020")]
+        assert result == [f"{i:03d}".encode() for i in range(10, 20)]
+
+    def test_scan_open_bounds(self):
+        tree = small_tree()
+        for i in range(20):
+            tree.insert(f"{i:02d}".encode(), b"v")
+        assert len(list(tree.scan())) == 20
+        assert len(list(tree.scan(start=b"15"))) == 5
+        assert len(list(tree.scan(end=b"05"))) == 5
+
+    def test_scan_finds_duplicates_across_splits(self):
+        tree = small_tree()
+        # Interleave so duplicates of "mm" straddle split points.
+        for i in range(100):
+            tree.insert(b"mm", str(i).encode())
+            tree.insert(f"k{i:03d}".encode(), b"x")
+        assert len(tree.search(b"mm")) == 100
+        tree.check_invariants()
+
+    def test_oversized_entry_rejected(self):
+        tree = small_tree()
+        with pytest.raises(BTreeError):
+            tree.insert(b"k" * 100, b"v" * 100)
+
+    def test_empty_tree_scan(self):
+        assert list(small_tree().scan()) == []
+
+    def test_node_count_and_size(self):
+        tree = small_tree()
+        for i in range(100):
+            tree.insert(f"{i:04d}".encode(), b"v")
+        assert tree.node_count() > 1
+        assert tree.size_bytes() == tree.node_count() * 256
+
+
+class TestBPlusTreeDelete:
+    def test_delete_existing(self):
+        tree = small_tree()
+        tree.insert(b"k", b"v")
+        assert tree.delete(b"k")
+        assert tree.search(b"k") == []
+        assert len(tree) == 0
+
+    def test_delete_missing(self):
+        assert not small_tree().delete(b"nope")
+
+    def test_delete_specific_value_among_duplicates(self):
+        tree = small_tree()
+        for i in range(5):
+            tree.insert(b"dup", f"v{i}".encode())
+        assert tree.delete(b"dup", b"v3")
+        assert b"v3" not in tree.search(b"dup")
+        assert len(tree.search(b"dup")) == 4
+
+    def test_delete_across_leaf_boundary(self):
+        tree = small_tree()
+        for i in range(100):
+            tree.insert(b"dup", f"v{i:03d}".encode())
+        assert tree.delete(b"dup", b"v099")
+        assert len(tree.search(b"dup")) == 99
+        tree.check_invariants()
+
+    def test_delete_then_reinsert(self):
+        tree = small_tree()
+        for i in range(50):
+            tree.insert(f"{i:02d}".encode(), b"v")
+        for i in range(0, 50, 2):
+            assert tree.delete(f"{i:02d}".encode())
+        for i in range(0, 50, 2):
+            tree.insert(f"{i:02d}".encode(), b"w")
+        assert len(tree) == 50
+        tree.check_invariants()
+
+
+class TestBPlusTreePersistence:
+    def test_flush_and_reopen_in_memory(self):
+        pager = Pager(page_size=256)
+        tree = BPlusTree(pager)
+        for i in range(150):
+            tree.insert(f"{i:04d}".encode(), str(i).encode())
+        tree.flush()
+        reopened = BPlusTree.open(pager, tree.root_page, len(tree))
+        assert [k for k, _ in reopened.scan()] == [k for k, _ in tree.scan()]
+        reopened.check_invariants()
+
+    def test_flush_and_reopen_from_file(self, tmp_path):
+        path = str(tmp_path / "tree.db")
+        with Pager(path, page_size=256) as pager:
+            tree = BPlusTree(pager)
+            for i in range(150):
+                tree.insert(f"{i:04d}".encode(), str(i).encode())
+            tree.flush()
+            root, count = tree.root_page, len(tree)
+        with Pager(path, page_size=256) as pager:
+            reopened = BPlusTree.open(pager, root, count)
+            assert reopened.search(b"0042") == [b"42"]
+            assert len(list(reopened.scan())) == 150
+            reopened.check_invariants()
+
+
+class TestBPlusTreeProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=0, max_size=20), st.binary(max_size=8)),
+            max_size=300,
+        )
+    )
+    def test_behaves_like_sorted_multimap(self, pairs):
+        tree = small_tree()
+        for key, value in pairs:
+            tree.insert(key, value)
+        expected = sorted(pairs, key=lambda pair: pair[0])
+        got = list(tree.scan())
+        assert [k for k, _ in got] == [k for k, _ in expected]
+        # Values grouped per key must match as multisets.
+        from collections import Counter
+
+        assert Counter(got) == Counter((k, v) for k, v in pairs)
+        tree.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=200),
+        st.data(),
+    )
+    def test_range_scans_match_reference(self, keys, data):
+        tree = small_tree()
+        for key in keys:
+            tree.insert(key, b"v")
+        start = data.draw(st.sampled_from(keys))
+        end = data.draw(st.sampled_from(keys))
+        if start > end:
+            start, end = end, start
+        got = [k for k, _ in tree.scan(start=start, end=end)]
+        expected = sorted(k for k in keys if start <= k < end)
+        assert got == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=1, max_size=12), min_size=1, max_size=150),
+        st.data(),
+    )
+    def test_insert_delete_interleaving(self, keys, data):
+        tree = small_tree()
+        reference: list[bytes] = []
+        for key in keys:
+            if reference and data.draw(st.booleans()):
+                victim = data.draw(st.sampled_from(reference))
+                assert tree.delete(victim)
+                reference.remove(victim)
+            else:
+                tree.insert(key, b"v")
+                reference.append(key)
+        assert [k for k, _ in tree.scan()] == sorted(reference)
+        tree.check_invariants()

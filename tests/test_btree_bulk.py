@@ -1,0 +1,92 @@
+"""Tests for B+tree bulk loading."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BTreeError
+from repro.btree import BPlusTree
+from repro.storage import Pager
+
+
+def pairs_for(count: int) -> list[tuple[bytes, bytes]]:
+    return [(f"{i:05d}".encode(), str(i).encode()) for i in range(count)]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert len(tree) == 0
+        assert list(tree.scan()) == []
+
+    def test_single_entry(self):
+        tree = BPlusTree.bulk_load([(b"k", b"v")])
+        assert tree.search(b"k") == [b"v"]
+        tree.check_invariants()
+
+    def test_matches_insert_built_tree(self):
+        pairs = pairs_for(500)
+        bulk = BPlusTree.bulk_load(pairs, Pager(page_size=256))
+        incremental = BPlusTree(Pager(page_size=256))
+        for key, value in pairs:
+            incremental.insert(key, value)
+        assert list(bulk.scan()) == list(incremental.scan())
+        bulk.check_invariants()
+
+    def test_duplicates_straddling_leaves(self):
+        pairs = sorted(
+            [(b"dup", str(i).encode()) for i in range(60)]
+            + [(f"k{i:03d}".encode(), b"x") for i in range(60)]
+        )
+        tree = BPlusTree.bulk_load(pairs, Pager(page_size=256))
+        assert len(tree.search(b"dup")) == 60
+        tree.check_invariants()
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load([(b"b", b""), (b"a", b"")])
+
+    def test_oversized_entry_rejected(self):
+        pager = Pager(page_size=256)
+        with pytest.raises(BTreeError):
+            BPlusTree.bulk_load([(b"k" * 100, b"v" * 100)], pager)
+
+    def test_insert_after_bulk_load(self):
+        tree = BPlusTree.bulk_load(pairs_for(300), Pager(page_size=256))
+        tree.insert(b"00150a", b"new")
+        assert tree.search(b"00150a") == [b"new"]
+        assert len(tree) == 301
+        tree.check_invariants()
+
+    def test_delete_after_bulk_load(self):
+        tree = BPlusTree.bulk_load(pairs_for(300), Pager(page_size=256))
+        assert tree.delete(b"00123")
+        assert tree.search(b"00123") == []
+        tree.check_invariants()
+
+    def test_flush_and_reopen(self):
+        pager = Pager(page_size=256)
+        tree = BPlusTree.bulk_load(pairs_for(400), pager)
+        tree.flush()
+        reopened = BPlusTree.open(pager, tree.root_page, len(tree))
+        assert list(reopened.scan()) == list(tree.scan())
+        reopened.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.binary(min_size=1, max_size=16), st.binary(max_size=8)),
+            max_size=250,
+        )
+    )
+    def test_property_matches_reference(self, raw_pairs):
+        pairs = sorted(raw_pairs, key=lambda pair: pair[0])
+        tree = BPlusTree.bulk_load(pairs, Pager(page_size=256))
+        assert list(tree.scan()) == pairs
+        if pairs:
+            probe = pairs[len(pairs) // 2][0]
+            expected = sorted(v for k, v in pairs if k == probe)
+            assert sorted(tree.search(probe)) == expected
+        tree.check_invariants()

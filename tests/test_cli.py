@@ -1,0 +1,129 @@
+"""Tests for the command-line interface and store persistence."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.storage import PrimaryXMLStore
+from repro.errors import RecordError
+from repro.xmltree import parse_xml
+
+
+class TestStorePersistence:
+    def test_roundtrip(self, tmp_path):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b>t</b></a>"))
+        store.add_document(parse_xml("<c/>"))
+        directory = os.fspath(tmp_path / "store")
+        store.save(directory)
+        loaded = PrimaryXMLStore.load(directory)
+        assert loaded.document_count == 2
+        assert loaded.get_document(0).root.tag == "a"
+        assert next(loaded.get_document(0).root.find_all("b")).text() == "t"
+        assert loaded.get_document(1).root.tag == "c"
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(RecordError):
+            PrimaryXMLStore.load(os.fspath(tmp_path / "nothing"))
+
+
+@pytest.fixture()
+def built_index_dir(tmp_path):
+    directory = os.fspath(tmp_path / "idx")
+    code = main(
+        [
+            "build",
+            "--dataset", "xmark",
+            "--scale", "0.05",
+            "--seed", "3",
+            "--out", directory,
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+class TestCLI:
+    def test_build_from_xml_files(self, tmp_path, capsys):
+        xml_path = tmp_path / "doc.xml"
+        xml_path.write_text("<a><b><c/></b></a>")
+        out = os.fspath(tmp_path / "idx")
+        code = main(["build", "--xml", os.fspath(xml_path), "--out", out])
+        assert code == 0
+        assert os.path.exists(os.path.join(out, "meta.json"))
+        assert os.path.exists(os.path.join(out, "store", "primary.json"))
+        assert "built FixIndex" in capsys.readouterr().out
+
+    def test_build_dataset_and_query(self, built_index_dir, capsys):
+        code = main(["query", built_index_dir, "//item[name]/mailbox"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "candidates=" in output
+        assert "results=" in output
+
+    def test_query_with_metrics(self, built_index_dir, capsys):
+        code = main(["query", built_index_dir, "//item[name]", "--metrics"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sel=" in output and "pp=" in output
+        assert "false_negatives=" in output
+
+    def test_query_uncovered_reports_error(self, built_index_dir, capsys):
+        # Depth-7 query against the depth-6 index: coverage error, exit 1.
+        code = main(["query", built_index_dir, "//a/b/c/d/e/f/g"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats(self, built_index_dir, capsys):
+        code = main(["stats", built_index_dir])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "entries:" in output
+        assert "top root labels:" in output
+        assert "0.00 MB" not in output.split("B-tree:")[1].splitlines()[0]
+
+    def test_datasets_listing(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("xbench", "dblp", "xmark", "treebank"):
+            assert name in output
+
+    def test_bench_table2_small(self, capsys):
+        code = main(["bench", "table2", "--scale", "0.05"])
+        assert code == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_clustered_build_and_query(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "cidx")
+        assert (
+            main(
+                [
+                    "build", "--dataset", "xmark", "--scale", "0.05",
+                    "--out", directory, "--clustered",
+                ]
+            )
+            == 0
+        )
+        assert main(["query", directory, "//item[name]"]) == 0
+        assert "results=" in capsys.readouterr().out
+
+    def test_value_build_and_query(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "vidx")
+        assert (
+            main(
+                [
+                    "build", "--dataset", "dblp", "--scale", "0.05",
+                    "--out", directory, "--beta", "8",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(["query", directory, '//proceedings[publisher = "Springer"]'])
+            == 0
+        )
+        assert "results=" in capsys.readouterr().out

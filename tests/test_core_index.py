@@ -1,0 +1,288 @@
+"""Tests for FIX index construction (Algorithm 1) and the pruning scan."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import IndexCoverageError
+from repro.core import FixIndex, FixIndexConfig
+from repro.query import twig_of
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+BIB_DOCS = [
+    "<bib><article><author><email/></author><title/></article></bib>",
+    "<bib><article><author><phone/></author><title/></article></bib>",
+    "<bib><book><author><affiliation/></author><title/></book></bib>",
+    "<bib><www><title/></www></bib>",
+]
+
+DEEP_DOC = (
+    "<site>"
+    "<regions><asia><item><name/><mailbox><mail><to/><text><bold/></text>"
+    "</mail></mailbox></item><item><name/><payment/></item></asia></regions>"
+    "<people><person><name/><emailaddress/></person>"
+    "<person><name/><phone/></person></people>"
+    "</site>"
+)
+
+
+def collection_store() -> PrimaryXMLStore:
+    store = PrimaryXMLStore()
+    for source in BIB_DOCS:
+        store.add_document(parse_xml(source))
+    return store
+
+
+def large_doc_store() -> PrimaryXMLStore:
+    store = PrimaryXMLStore()
+    store.add_document(parse_xml(DEEP_DOC))
+    return store
+
+
+class TestCollectionConstruction:
+    def test_one_entry_per_document(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        assert index.entry_count == len(BIB_DOCS)
+
+    def test_entries_point_at_document_roots(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        pointers = {entry.pointer for entry in index.iter_entries()}
+        assert {p.node_id for p in pointers} == {0}
+        assert {p.doc_id for p in pointers} == set(range(len(BIB_DOCS)))
+
+    def test_covers_everything(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        assert index.covers(twig_of("//a/b/c/d/e/f/g/h"))
+
+    def test_report_populated(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        assert index.report.seconds > 0
+        assert index.report.stats.documents == len(BIB_DOCS)
+        assert index.report.stats.unit_documents == len(BIB_DOCS)
+        assert index.report.btree_bytes > 0
+
+
+class TestSubpatternConstruction:
+    def test_theorem4_one_entry_per_element(self):
+        store = large_doc_store()
+        document = store.get_document(0)
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        assert index.entry_count == document.element_count()
+
+    def test_eigen_computed_once_per_class(self):
+        store = large_doc_store()
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        stats = index.report.stats
+        # Two structurally identical <person> subtrees etc. share classes,
+        # so eigen computations must be strictly fewer than entries.
+        assert stats.eigen_computations < stats.entries
+
+    def test_shallow_documents_also_get_subpattern_entries(self):
+        # Deviation from Algorithm 1's literal branch (see DESIGN.md §5a):
+        # with a positive depth limit *every* document is decomposed, so
+        # covered queries rooted at interior labels of shallow documents
+        # still find their entries.
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b/></a>"))  # depth 2 <= limit 3
+        store.add_document(parse_xml(DEEP_DOC))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        assert index.report.stats.unit_documents == 0
+        assert index.report.stats.subpattern_documents == 2
+        candidates = list(index.candidates(twig_of("//b")))
+        assert len(candidates) == 1
+
+    def test_coverage_respects_depth(self):
+        index = FixIndex.build(large_doc_store(), FixIndexConfig(depth_limit=3))
+        assert index.covers(twig_of("//item/mailbox/mail"))
+        assert not index.covers(twig_of("//item/mailbox/mail/to"))
+        with pytest.raises(IndexCoverageError):
+            list(index.candidates(twig_of("//item/mailbox/mail/to")))
+
+    def test_oversized_fallback(self):
+        # A tiny vertex cap forces the all-covering range everywhere.
+        store = large_doc_store()
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=3, max_pattern_vertices=1)
+        )
+        stats = index.report.stats
+        assert stats.oversized_patterns > 0
+        # All-covering entries still make every matching-label query find
+        # its candidates (completeness preserved, pruning sacrificed).
+        candidates = list(index.candidates(twig_of("//item/mailbox")))
+        document = store.get_document(0)
+        item_count = sum(1 for e in document.root.find_all("item"))
+        assert len(candidates) == item_count
+        assert any(e.key.range.is_all_covering() for e in candidates)
+
+
+class TestPruningScan:
+    def test_anchored_label_filter(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        # '/'-anchored: the query root must bind the unit root, so the
+        # label prunes everything.
+        assert list(index.candidates(twig_of("/zzz"))) == []
+
+    def test_unanchored_collection_scan_ignores_labels(self):
+        # A '//' query can match anywhere inside a unit, so collection-
+        # mode pruning is label-free (range containment only) — a single-
+        # node query range [0, 0] is contained in every unit's range.
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        candidates = list(index.candidates(twig_of("//zzz")))
+        assert len(candidates) == len(BIB_DOCS)
+
+    def test_subpattern_mode_keeps_label_filter(self):
+        index = FixIndex.build(large_doc_store(), FixIndexConfig(depth_limit=3))
+        assert list(index.candidates(twig_of("//zzz"))) == []
+
+    def test_no_false_negatives_on_collection(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        # //bib[.//email] style twigs: every doc truly containing the twig
+        # must appear among the candidates.
+        for query, matching_docs in [
+            ("//bib", {0, 1, 2, 3}),
+            ("//bib[article]", {0, 1}),
+            ("//bib[book]", {2}),
+            ("//bib[www]", {3}),
+        ]:
+            got = {e.pointer.doc_id for e in index.candidates(twig_of(query))}
+            assert matching_docs <= got, query
+
+    def test_candidates_are_sorted_by_key(self):
+        index = FixIndex.build(large_doc_store(), FixIndexConfig(depth_limit=3))
+        candidates = list(index.candidates(twig_of("//item")))
+        lmaxes = [entry.key.range.lmax for entry in candidates]
+        assert lmaxes == sorted(lmaxes)
+
+    def test_guard_band_is_applied(self):
+        # An exact-equality query key must never be rejected by round-off:
+        # index a unit and query with its own structure.
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b><c/></b><d/></a>"))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+        candidates = list(index.candidates(twig_of("//a[b/c][d]")))
+        assert len(candidates) == 1
+
+    def test_query_features_use_shared_encoder(self):
+        index = FixIndex.build(collection_store(), FixIndexConfig(depth_limit=0))
+        before = len(index.encoder)
+        key = index.query_features(twig_of("//bib[article]"))
+        assert key.root_label == "bib"
+        # (bib, article) was seen during construction: no new codes.
+        assert len(index.encoder) == before
+
+
+class TestClusteredConstruction:
+    def test_copies_one_unit_per_entry(self):
+        store = large_doc_store()
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=3, clustered=True)
+        )
+        assert index.clustered_store is not None
+        assert index.clustered_store.unit_count == index.entry_count
+
+    def test_entries_carry_both_pointers(self):
+        index = FixIndex.build(
+            collection_store(), FixIndexConfig(depth_limit=0, clustered=True)
+        )
+        for entry in index.iter_entries():
+            assert entry.record is not None
+            unit = index.clustered_store.get_unit(entry.record)
+            original = index.store.resolve(entry.pointer)
+            assert unit.root.tag == original.tag
+
+    def test_clustered_total_size_exceeds_unclustered(self):
+        store = large_doc_store()
+        unclustered = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        clustered = FixIndex.build(
+            store, FixIndexConfig(depth_limit=3, clustered=True)
+        )
+        assert clustered.total_size_bytes() > unclustered.total_size_bytes()
+
+    def test_copies_are_depth_limited(self):
+        store = large_doc_store()
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=2, clustered=True)
+        )
+        for entry in index.iter_entries():
+            unit = index.clustered_store.get_unit(entry.record)
+            assert unit.max_depth() <= 2
+
+    def test_copies_arrive_in_key_order(self):
+        store = large_doc_store()
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=3, clustered=True)
+        )
+        # Clustering contract: record pointers ascend with key order.
+        records = [entry.record for entry in index.iter_entries()]
+        assert records == sorted(records)
+
+
+class TestValueIndexConstruction:
+    STORE_XML = (
+        "<dblp>"
+        "<article><author>Smith</author><year>1998</year><title/></article>"
+        "<article><author>Jones</author><year>2001</year><title/></article>"
+        "</dblp>"
+    )
+
+    def make_index(self, beta: int = 8, depth_limit: int = 3):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(self.STORE_XML))
+        return FixIndex.build(
+            store,
+            FixIndexConfig(depth_limit=depth_limit, value_buckets=beta),
+        )
+
+    def test_value_queries_covered(self):
+        index = self.make_index()
+        assert index.covers(twig_of('//article[year = "1998"]'))
+
+    def test_structural_index_rejects_value_queries(self):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(self.STORE_XML))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        assert not index.covers(twig_of('//article[year = "1998"]'))
+
+    def test_no_false_negatives_for_values(self):
+        index = self.make_index()
+        candidates = {
+            e.pointer.node_id
+            for e in index.candidates(twig_of('//article[year = "1998"]'))
+        }
+        document = index.store.get_document(0)
+        truth = {
+            e.node_id
+            for e in document.root.find_all("article")
+            if any(y.text() == "1998" for y in e.find_all("year"))
+        }
+        assert truth <= candidates
+
+    def test_larger_beta_larger_encoder(self):
+        small = self.make_index(beta=2)
+        large = self.make_index(beta=64)
+        assert len(large.encoder) >= len(small.encoder)
+
+    def test_entry_count_unchanged_by_values(self):
+        # Theorem 4 still holds: entries per *element*, text nodes do not
+        # add entries.
+        index = self.make_index()
+        document = index.store.get_document(0)
+        assert index.entry_count == document.element_count()
+
+
+class TestAllCoveringOrdering:
+    def test_infinite_range_sorts_last_and_always_scanned(self):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b><c/></b></a>"))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+        # Manually add an all-covering entry for the same label.
+        from repro.btree import encode_feature_key
+
+        index.btree.insert(
+            encode_feature_key("a", math.inf, -math.inf), b"\xff" * 8
+        )
+        candidates = list(index.candidates_for_key(index.query_features(twig_of("//a[b/c]"))))
+        assert any(e.key.range.is_all_covering() for e in candidates)

@@ -1,0 +1,233 @@
+"""Tests for the synthetic data-set generators and the random-query
+generator: determinism, scaling, and the structural characters the
+paper's Section 6.1 relies on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bisim import bisim_graph_of_document
+from repro.datasets import (
+    RandomQueryGenerator,
+    dataset_names,
+    load_dataset,
+)
+from repro.query import matching_elements, query_matches_document, twig_of
+from repro.xmltree import serialize
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ["xbench", "dblp", "xmark", "treebank"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("nope")
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_deterministic_under_seed(self, name):
+        a = load_dataset(name, scale=0.05, seed=7)
+        b = load_dataset(name, scale=0.05, seed=7)
+        assert len(a.documents) == len(b.documents)
+        assert serialize(a.documents[0]) == serialize(b.documents[0])
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_seed_changes_content(self, name):
+        a = load_dataset(name, scale=0.05, seed=1)
+        b = load_dataset(name, scale=0.05, seed=2)
+        assert serialize(a.documents[0]) != serialize(b.documents[0])
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_scale_grows_content(self, name):
+        small = load_dataset(name, scale=0.05)
+        large = load_dataset(name, scale=0.2)
+        assert large.element_count() > small.element_count()
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_bundle_accessors(self, name):
+        bundle = load_dataset(name, scale=0.05)
+        assert bundle.size_bytes() > 0
+        assert bundle.max_depth() >= 3
+        store = bundle.store()
+        assert store.document_count == len(bundle.documents)
+
+
+class TestXBenchCharacter:
+    def test_many_small_documents(self):
+        bundle = load_dataset("xbench", scale=0.2)
+        assert len(bundle.documents) > 20
+        assert all(d.element_count() < 200 for d in bundle.documents)
+        assert bundle.depth_limit == 0
+
+    def test_low_structural_variation(self):
+        # Few distinct document shapes: the whole collection's bisim
+        # graphs use a small shared vocabulary.
+        bundle = load_dataset("xbench", scale=0.2)
+        labels = set()
+        for document in bundle.documents:
+            labels |= {e.tag for e in document.root.iter()}
+        assert len(labels) < 25
+
+    def test_paper_queries_have_matches(self):
+        bundle = load_dataset("xbench", scale=0.3)
+        for query in [
+            "/article/epilog[acknoledgements]/references/a_id",
+            "/article/prolog[keywords]/authors/author/contact[phone]",
+            "/article[epilog]/prolog/authors/author",
+        ]:
+            twig = twig_of(query)
+            assert any(
+                query_matches_document(twig, d) for d in bundle.documents
+            ), query
+
+
+class TestDBLPCharacter:
+    def test_single_shallow_document(self):
+        bundle = load_dataset("dblp", scale=0.1)
+        assert len(bundle.documents) == 1
+        assert bundle.max_depth() <= 5
+
+    def test_high_repetition(self):
+        # Regularity: the bisimulation graph is tiny relative to the tree.
+        bundle = load_dataset("dblp", scale=0.1)
+        document = bundle.documents[0]
+        graph = bisim_graph_of_document(document)
+        assert graph.vertex_count() < document.element_count() / 10
+
+    def test_real_values_present(self):
+        bundle = load_dataset("dblp", scale=0.1)
+        document = bundle.documents[0]
+        publishers = {
+            e.text() for e in document.root.find_all("publisher")
+        }
+        assert "Springer" in publishers
+        years = {e.text() for e in document.root.find_all("year")}
+        assert "1998" in years
+
+    def test_paper_queries_have_matches(self):
+        bundle = load_dataset("dblp", scale=0.3)
+        document = bundle.documents[0]
+        for query in [
+            "//proceedings[booktitle]/title",
+            "//article[number]/author",
+            "//inproceedings[url]/title",
+            "//dblp/inproceedings/author",
+            '//proceedings[publisher = "Springer"][title]',
+        ]:
+            assert matching_elements(twig_of(query), document), query
+
+    def test_markup_combination_is_rare(self):
+        # //...title[sub][i] is the paper's hi-selectivity case.
+        bundle = load_dataset("dblp", scale=0.5)
+        document = bundle.documents[0]
+        rare = matching_elements(twig_of("//inproceedings[url]/title[sub][i]"), document)
+        common = matching_elements(twig_of("//inproceedings/title"), document)
+        assert len(rare) < len(common) / 20
+
+
+class TestXMarkCharacter:
+    def test_structure_rich(self):
+        bundle = load_dataset("xmark", scale=0.3)
+        document = bundle.documents[0]
+        graph = bisim_graph_of_document(document)
+        # Less repetitive than DBLP: far more classes per element.
+        assert graph.vertex_count() > document.element_count() / 60
+        assert bundle.max_depth() >= 9
+
+    def test_paper_queries_have_matches(self):
+        bundle = load_dataset("xmark", scale=0.5)
+        document = bundle.documents[0]
+        for query in [
+            "//category/description[parlist]/parlist/listitem/text",
+            "//closed_auction/annotation/description/text",
+            "//open_auction[seller]/annotation/description/text",
+            "//item/mailbox/mail/text/emph/keyword",
+            "//description/parlist/listitem",
+            "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+        ]:
+            assert matching_elements(twig_of(query), document), query
+
+
+class TestTreebankCharacter:
+    def test_deep_recursion(self):
+        bundle = load_dataset("treebank", scale=0.2)
+        assert bundle.max_depth() >= 12
+        document = bundle.documents[0]
+        # Recursive structure: S below S somewhere.
+        assert matching_elements(twig_of("//S//S"), document)
+
+    def test_high_selectivity_structures(self):
+        bundle = load_dataset("treebank", scale=0.2)
+        document = bundle.documents[0]
+        graph = bisim_graph_of_document(document)
+        # Structures rarely repeat: many classes per element.
+        assert graph.vertex_count() > document.element_count() / 12
+
+    def test_paper_queries_have_matches(self):
+        bundle = load_dataset("treebank", scale=0.5)
+        document = bundle.documents[0]
+        for query in [
+            "//EMPTY/S/NP[PP]/NP",
+            "//S[VP]/NP/NP/PP/NP",
+            "//EMPTY/S[VP]/NP",
+            "//EMPTY/S/NP/NP/PP",
+            "//EMPTY/S/VP",
+        ]:
+            assert matching_elements(twig_of(query), document), query
+
+
+class TestRandomQueryGenerator:
+    def make(self):
+        bundle = load_dataset("xmark", scale=0.1)
+        return bundle, RandomQueryGenerator(bundle.documents, seed=3)
+
+    def test_queries_are_twigs(self):
+        _, generator = self.make()
+        for _ in range(50):
+            generated = generator.generate()
+            assert generated.twig.is_structural_twig()
+
+    def test_rendered_text_reparses_equivalently(self):
+        bundle, generator = self.make()
+        document = bundle.documents[0]
+        for _ in range(30):
+            generated = generator.generate()
+            reparsed = twig_of(generated.text)
+            left = {e.node_id for e in matching_elements(generated.twig, document)}
+            right = {e.node_id for e in matching_elements(reparsed, document)}
+            assert left == right
+
+    def test_unmutated_queries_match_data(self):
+        bundle, generator = self.make()
+        document = bundle.documents[0]
+        hits = 0
+        total = 0
+        for _ in range(60):
+            generated = generator.generate()
+            if generated.mutated:
+                continue
+            total += 1
+            if matching_elements(generated.twig, document):
+                hits += 1
+        # Upward-walk anchoring guarantees the main path exists; the only
+        # misses come from predicate placement subtleties, so the hit
+        # rate must be overwhelming.
+        assert hits >= total * 0.9
+
+    def test_deterministic(self):
+        bundle = load_dataset("xmark", scale=0.1)
+        a = RandomQueryGenerator(bundle.documents, seed=5)
+        b = RandomQueryGenerator(bundle.documents, seed=5)
+        assert [a.generate().text for _ in range(20)] == [
+            b.generate().text for _ in range(20)
+        ]
+
+    def test_batch_filter(self):
+        _, generator = self.make()
+        batch = generator.batch(10, keep=lambda g: not g.mutated)
+        assert len(batch) == 10
+        assert all(not g.mutated for g in batch)
+
+    def test_empty_documents_rejected(self):
+        with pytest.raises(ValueError):
+            RandomQueryGenerator([])

@@ -1,0 +1,166 @@
+"""Failure-injection tests: corrupted pages, truncated files, and other
+storage-level damage must surface as typed errors, never as silent wrong
+answers or uncaught low-level exceptions."""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import BTreeError, PageError, RecordError, StorageError
+from repro.btree import BPlusTree
+from repro.btree.node import LeafNode, deserialize_node
+from repro.core import FixIndex, FixIndexConfig, load_index, save_index
+from repro.storage import Pager, PrimaryXMLStore, RecordFile, RecordPointer
+from repro.xmltree import parse_xml
+
+
+class TestPagerDamage:
+    def test_file_not_multiple_of_page_size(self, tmp_path):
+        path = tmp_path / "bad.pages"
+        path.write_bytes(b"x" * 1000)  # not a multiple of 4096
+        with pytest.raises(PageError):
+            Pager(os.fspath(path))
+
+    def test_truncated_file_reads_zero_extended(self, tmp_path):
+        # A crash can leave allocated-but-unflushed pages past EOF; reads
+        # must return zeroed pages, not raise.
+        path = os.fspath(tmp_path / "trunc.pages")
+        with Pager(path) as pager:
+            pager.allocate()
+            pager.allocate()
+            pager.flush()
+        os.truncate(path, 4096)  # drop the second page
+        # Reattach with the original page count (as a caller holding
+        # stale metadata would).
+        pager = Pager(path)
+        assert pager.page_count == 1
+
+
+class TestRecordDamage:
+    def test_corrupted_slot_directory(self):
+        pager = Pager()
+        records = RecordFile(pager)
+        pointer = records.append(b"payload")
+        # Stamp an absurd slot count into the page header.
+        page = pager.read(pointer.page_id)
+        struct.pack_into("<HH", page, 0, 9999, 0)
+        pager.mark_dirty(pointer.page_id)
+        with pytest.raises((RecordError, struct.error)):
+            records.read(RecordPointer(pointer.page_id, 5000))
+
+    def test_truncated_overflow_chain(self):
+        pager = Pager()
+        records = RecordFile(pager)
+        big = bytes(range(256)) * 64  # forces overflow pages
+        pointer = records.append(big)
+        # Break the chain: point the head segment's continuation at a
+        # page full of zeros (next=0 -> page 0, which has no real data).
+        head = pager.read(pointer.page_id)
+        # Head layout: slots... find the segment: offset from slot 0.
+        slot_offset, _length = struct.unpack_from("<HH", head, 4)
+        total, _cont = struct.unpack_from("<II", head, slot_offset)
+        zero_page = pager.allocate()
+        buffer = bytearray(pager.page_size)
+        struct.pack_into("<I", buffer, 0, 0xFFFFFFFF)
+        pager.write(zero_page, buffer)
+        struct.pack_into("<II", head, slot_offset, total, zero_page)
+        pager.mark_dirty(pointer.page_id)
+        with pytest.raises(RecordError):
+            records.read(pointer)
+
+
+class TestBTreeDamage:
+    def test_unknown_page_type(self):
+        with pytest.raises(BTreeError):
+            deserialize_node(bytes([77]) + b"\x00" * 255)
+
+    def test_corrupt_page_on_reopen(self, tmp_path):
+        path = os.fspath(tmp_path / "tree.pages")
+        with Pager(path, page_size=256) as pager:
+            tree = BPlusTree(pager)
+            for i in range(100):
+                tree.insert(f"{i:04d}".encode(), b"v")
+            tree.flush()
+            root, count = tree.root_page, len(tree)
+        # Scribble over every page.
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xde\xad\xbe\xef" * 64)
+        with Pager(path, page_size=256) as pager:
+            reopened = BPlusTree.open(pager, root, count)
+            with pytest.raises(BTreeError):
+                list(reopened.scan())
+
+    def test_leaf_chain_truncation_detected_by_invariants(self):
+        tree = BPlusTree(Pager(page_size=256))
+        for i in range(200):
+            tree.insert(f"{i:04d}".encode(), b"v")
+        # Damage: lop entries off a leaf behind the tree's back.
+        leaf_page = tree._leftmost_leaf()
+        node = tree._node(leaf_page, count=False)
+        assert isinstance(node, LeafNode)
+        del node.keys[1:], node.values[1:]
+        with pytest.raises(BTreeError):
+            tree.check_invariants()
+
+
+class TestIndexDirectoryDamage:
+    def build(self, tmp_path):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b><c/></b><d/></a>"))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        directory = os.fspath(tmp_path / "idx")
+        save_index(index, directory)
+        return store, directory
+
+    def test_missing_btree_pages(self, tmp_path):
+        store, directory = self.build(tmp_path)
+        os.remove(os.path.join(directory, "btree.pages"))
+        with pytest.raises((StorageError, FileNotFoundError, PageError)):
+            index = load_index(directory, store)
+            list(index.iter_entries())
+
+    def test_garbage_btree_pages(self, tmp_path):
+        store, directory = self.build(tmp_path)
+        pages_path = os.path.join(directory, "btree.pages")
+        size = os.path.getsize(pages_path)
+        with open(pages_path, "wb") as handle:
+            handle.write(b"\xff" * size)
+        index = load_index(directory, store)
+        with pytest.raises(BTreeError):
+            list(index.iter_entries())
+
+    def test_metadata_missing_fields(self, tmp_path):
+        store, directory = self.build(tmp_path)
+        meta_path = os.path.join(directory, "meta.json")
+        with open(meta_path, "w") as handle:
+            handle.write('{"format_version": 1}')
+        with pytest.raises((StorageError, KeyError)):
+            load_index(directory, store)
+
+
+class TestParserResilience:
+    """Pathological-but-legal inputs the parser must survive."""
+
+    def test_very_deep_document(self):
+        depth = 20000
+        source = "<n>" * depth + "</n>" * depth
+        document = parse_xml(source)
+        assert document.max_depth() == depth
+
+    def test_very_wide_document(self):
+        source = "<r>" + "<c/>" * 50000 + "</r>"
+        document = parse_xml(source)
+        assert document.element_count() == 50001
+
+    def test_huge_text_node(self):
+        source = f"<a>{'x' * 1_000_000}</a>"
+        assert len(parse_xml(source).root.text()) == 1_000_000
+
+    def test_many_attributes(self):
+        attrs = " ".join(f'a{i}="{i}"' for i in range(500))
+        document = parse_xml(f"<e {attrs}/>")
+        assert len(document.root.attributes) == 500

@@ -1,0 +1,48 @@
+"""Smoke and invariant tests for the gap-quantification experiment."""
+
+from __future__ import annotations
+
+from repro.bench.gap import GapRow, print_gap_sweep, run_gap_sweep
+
+
+class TestGapSweep:
+    def test_small_sweep_shape(self):
+        rows = run_gap_sweep(nestings=(1, 2), documents=30, seed=1)
+        assert rows
+        cells = {(row.max_nesting, row.chain_length) for row in rows}
+        assert (1, 2) in cells
+        assert (2, 4) in cells
+
+    def test_no_loss_without_label_repetition(self):
+        # Chain length 2 = parlist/listitem once: no repeated label pair
+        # on the query path, so no cell at that length may lose answers.
+        rows = run_gap_sweep(nestings=(1, 2, 3), documents=40, seed=2)
+        for row in rows:
+            if row.chain_length == 2:
+                assert row.false_negatives == 0
+
+    def test_loss_rate_bounds(self):
+        rows = run_gap_sweep(nestings=(1, 2, 3), documents=40, seed=3)
+        for row in rows:
+            assert 0 <= row.false_negatives <= row.true_results
+            assert 0.0 <= row.loss_rate <= 1.0
+
+    def test_deep_recursion_loses_answers(self):
+        # The §5a finding must reproduce at modest scale.
+        rows = run_gap_sweep(nestings=(3,), documents=80, seed=4)
+        assert any(row.false_negatives > 0 for row in rows)
+
+    def test_zero_results_row(self):
+        assert GapRow(1, 2, 0, 0).loss_rate == 0.0
+
+    def test_print_renders(self, capsys):
+        rows = run_gap_sweep(nestings=(1,), documents=10, seed=5)
+        print_gap_sweep(rows)
+        assert "Theorem 5 gap" in capsys.readouterr().out
+
+    def test_deterministic_under_seed(self):
+        a = run_gap_sweep(nestings=(2,), documents=25, seed=7)
+        b = run_gap_sweep(nestings=(2,), documents=25, seed=7)
+        assert [(r.true_results, r.false_negatives) for r in a] == [
+            (r.true_results, r.false_negatives) for r in b
+        ]

@@ -1,0 +1,195 @@
+"""Cross-system integration and property tests: every evaluator in the
+repository — brute force, navigational, structural join, F&B, FIX
+(unclustered and clustered, via both refiners), and the optimizer — must
+agree on arbitrary generated workloads within the regime where FIX is
+complete (stratified labels; see DESIGN.md §5a)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    FBEvaluator,
+    FBIndex,
+    FixIndex,
+    FixIndexConfig,
+    FixQueryProcessor,
+    NavigationalEngine,
+    QueryOptimizer,
+    StructuralJoinEngine,
+    SpatialFeatureIndex,
+    matching_elements,
+    twig_of,
+)
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, Element
+
+_LEVELS = [["top"], ["alpha", "beta"], ["left", "right"], ["leaf", "tip"]]
+
+
+@st.composite
+def stratified_documents(draw) -> Document:
+    """Random trees whose labels never repeat along a path."""
+    root = Element("top")
+    frontier = [root]
+    for level in range(1, len(_LEVELS)):
+        next_frontier: list[Element] = []
+        for parent in frontier:
+            for _ in range(draw(st.integers(min_value=0, max_value=3))):
+                child = parent.add_element(draw(st.sampled_from(_LEVELS[level])))
+                next_frontier.append(child)
+        if not next_frontier:
+            break
+        frontier = next_frontier[:8]
+    return Document(root)
+
+
+@st.composite
+def stratified_queries(draw) -> str:
+    start = draw(st.integers(min_value=0, max_value=2))
+    parts = ["//", draw(st.sampled_from(_LEVELS[start]))]
+    level = start
+    while level + 1 < len(_LEVELS) and draw(st.booleans()):
+        level += 1
+        label = draw(st.sampled_from(_LEVELS[level]))
+        if draw(st.booleans()):
+            parts.append(f"[{label}]")
+        else:
+            parts.extend(["/", label])
+    return "".join(parts)
+
+
+class TestAllSystemsAgree:
+    @settings(max_examples=40, deadline=None)
+    @given(stratified_documents(), stratified_queries())
+    def test_six_evaluation_paths(self, document, query):
+        store = PrimaryXMLStore()
+        store.add_document(document)
+        twig = twig_of(query)
+        expected = {e.node_id for e in matching_elements(twig, document)}
+
+        # 1. NoK-style navigation, no index.
+        navigational = {
+            p.node_id for p in NavigationalEngine(store).evaluate(twig)
+        }
+        assert navigational == expected
+
+        # 2. Structural joins, no index.
+        join_based = {
+            p.node_id for p in StructuralJoinEngine(store).evaluate(twig)
+        }
+        assert join_based == expected
+
+        # 3. F&B covering index.
+        fb = set(FBEvaluator(FBIndex(document)).evaluate(twig))
+        assert fb == expected
+
+        # 4. FIX unclustered + navigational refiner.
+        unclustered = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        fix_u = {
+            p.node_id
+            for p in FixQueryProcessor(unclustered).query(twig).results
+        }
+        assert fix_u == expected
+
+        # 5. FIX clustered + structural-join refiner.
+        clustered = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, clustered=True)
+        )
+        fix_c = {
+            p.node_id
+            for p in FixQueryProcessor(
+                clustered, refiner=StructuralJoinEngine(store)
+            )
+            .query(twig)
+            .results
+        }
+        assert fix_c == expected
+
+        # 6. Optimizer (whichever path it picks).
+        _, result = QueryOptimizer(unclustered).execute(twig)
+        assert {p.node_id for p in result.results} == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(stratified_documents(), stratified_queries())
+    def test_spatial_backend_agrees_with_btree(self, document, query):
+        store = PrimaryXMLStore()
+        store.add_document(document)
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        spatial = SpatialFeatureIndex(index)
+        key = index.query_features(twig_of(query))
+        assert {e.pointer for e in index.candidates_for_key(key)} == {
+            e.pointer for e in spatial.candidates_for_key(key)
+        }
+
+
+class TestEndToEndUnicode:
+    """Labels and values outside ASCII must flow through every layer:
+    parser, encoder, B-tree keys, persistence, refinement."""
+
+    XML = (
+        "<बिब>"
+        "<论文><作者>müller</作者><título/></论文>"
+        "<论文><作者>østergård</作者></论文>"
+        "</बिब>"
+    )
+
+    def test_structural_pipeline(self):
+        from repro.xmltree import parse_xml
+
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(self.XML))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        processor = FixQueryProcessor(index)
+        result = processor.query("//论文[título]")
+        assert result.result_count == 1
+
+    def test_value_pipeline(self):
+        from repro.xmltree import parse_xml
+
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(self.XML))
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=3, value_buckets=8)
+        )
+        processor = FixQueryProcessor(index)
+        assert processor.query('//论文[作者 = "müller"]').result_count == 1
+        assert processor.query('//论文[作者 = "nobody"]').result_count == 0
+
+    def test_persistence_roundtrip(self, tmp_path):
+        import os
+
+        from repro import load_index, save_index
+        from repro.xmltree import parse_xml
+
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(self.XML))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        directory = os.fspath(tmp_path / "idx")
+        save_index(index, directory)
+        reloaded = load_index(directory, store)
+        result = FixQueryProcessor(reloaded).query("//论文/作者")
+        assert result.result_count == 2
+
+
+class TestDecomposeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_fragment_count_equals_descendant_edges_plus_one(self, data):
+        from repro.query import decompose
+
+        # Build a random query string with counted '//' occurrences.
+        labels = ["a", "b", "c"]
+        parts = ["//", data.draw(st.sampled_from(labels))]
+        descendant_edges = 0
+        for _ in range(data.draw(st.integers(min_value=0, max_value=4))):
+            axis = data.draw(st.sampled_from(["/", "//"]))
+            if axis == "//":
+                descendant_edges += 1
+            parts.extend([axis, data.draw(st.sampled_from(labels))])
+        query = "".join(parts)
+        fragments = decompose(query)
+        assert len(fragments) == descendant_edges + 1
+        assert all(f.is_structural_twig() for f in fragments)

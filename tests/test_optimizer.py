@@ -1,0 +1,100 @@
+"""Tests for access-path selection (the Section 5 optimizer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FixIndex, FixIndexConfig
+from repro.core.optimizer import AccessPath, CostModel, QueryOptimizer
+from repro.query import matching_elements, twig_of
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+
+def regular_store() -> PrimaryXMLStore:
+    """A store where one label is everywhere (weak pruning) and another
+    is rare (strong pruning)."""
+    store = PrimaryXMLStore()
+    parts = ["<db>"]
+    for i in range(80):
+        parts.append("<row><common/><common/></row>")
+    parts.append("<row><rare><gem/></rare></row>")
+    parts.append("</db>")
+    store.add_document(parse_xml("".join(parts)))
+    return store
+
+
+@pytest.fixture()
+def optimizer() -> QueryOptimizer:
+    store = regular_store()
+    index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+    return QueryOptimizer(index)
+
+
+class TestPlanning:
+    def test_selective_query_uses_index(self, optimizer):
+        plan = optimizer.plan("//rare[gem]")
+        assert plan.path is AccessPath.INDEX_SCAN
+        assert plan.covered
+        assert plan.estimated_candidates < plan.total_units / 10
+
+    def test_unselective_query_scans(self, optimizer):
+        # `common` is ~2/3 of all entries; with a candidate 6x costlier
+        # than a scan step, the index loses.
+        plan = optimizer.plan("//common")
+        assert plan.path is AccessPath.FULL_SCAN
+        assert plan.covered
+        assert "pruning too weak" in plan.reason
+
+    def test_uncovered_query_scans(self, optimizer):
+        plan = optimizer.plan("//db/row/rare/gem")  # depth 4 > limit 3
+        assert plan.path is AccessPath.FULL_SCAN
+        assert not plan.covered
+        assert "not covered" in plan.reason
+
+    def test_describe_mentions_decision(self, optimizer):
+        text = optimizer.plan("//rare[gem]").describe()
+        assert "plan: index-scan" in text
+        assert "estimated candidates" in text
+
+    def test_cost_model_can_flip_decision(self):
+        store = regular_store()
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=3))
+        # Free candidates: the index always wins.
+        greedy = QueryOptimizer(
+            index, cost_model=CostModel(descent_cost=0.0, candidate_cost=0.0)
+        )
+        assert greedy.plan("//common").path is AccessPath.INDEX_SCAN
+        # Outrageously expensive candidates: the index always loses.
+        frugal = QueryOptimizer(
+            index, cost_model=CostModel(candidate_cost=10_000.0)
+        )
+        assert frugal.plan("//rare[gem]").path is AccessPath.FULL_SCAN
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "query",
+        ["//rare[gem]", "//common", "//db/row/rare/gem", "//row[rare]"],
+    )
+    def test_both_paths_return_ground_truth(self, optimizer, query):
+        plan, result = optimizer.execute(query)
+        document = optimizer.index.store.get_document(0)
+        twig = twig_of(query)
+        expected = {e.node_id for e in matching_elements(twig, document)}
+        got = {p.node_id for p in result.results}
+        assert got == expected, plan.describe()
+
+    def test_collection_mode_scan_returns_document_units(self):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<a><b/><b/></a>"))
+        store.add_document(parse_xml("<a><c/></a>"))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+        # Force the full-scan path.
+        optimizer = QueryOptimizer(
+            index, cost_model=CostModel(candidate_cost=10_000.0)
+        )
+        plan, result = optimizer.execute("//b")
+        assert plan.path is AccessPath.FULL_SCAN
+        # One unit pointer per matching *document*, at its root.
+        assert [(p.doc_id, p.node_id) for p in result.results] == [(0, 0)]

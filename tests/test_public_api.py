@@ -1,0 +1,71 @@
+"""Tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import parse_xml, select, twig_of
+
+
+class TestSelect:
+    DOC = parse_xml(
+        "<bib><article><author><email/></author></article>"
+        "<book><author/></book></bib>"
+    )
+
+    def test_select_with_string(self):
+        assert [e.tag for e in select(self.DOC, "//author[email]")] == ["author"]
+
+    def test_select_with_twig(self):
+        twig = twig_of("//book/author")
+        assert len(select(self.DOC, twig)) == 1
+
+    def test_select_empty(self):
+        assert select(self.DOC, "//missing") == []
+
+    def test_results_in_document_order(self):
+        ids = [e.node_id for e in select(self.DOC, "//author")]
+        assert ids == sorted(ids)
+
+
+class TestSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_is_sorted_enough_to_audit(self):
+        # Not strictly sorted (grown organically), but free of duplicates.
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "FixIndex", "FixIndexConfig", "FixQueryProcessor", "PrimaryXMLStore",
+            "parse_xml", "parse_query", "twig_of", "decompose", "select",
+            "evaluate_pruning", "save_index", "load_index", "QueryOptimizer",
+            "SpatialFeatureIndex", "FBIndex", "NavigationalEngine",
+        ],
+    )
+    def test_key_names_exported(self, name):
+        assert name in repro.__all__
+
+    def test_quickstart_docstring_example_runs(self):
+        # The module docstring's example, executed literally.
+        from repro import (
+            FixIndex,
+            FixIndexConfig,
+            FixQueryProcessor,
+            PrimaryXMLStore,
+        )
+
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml("<bib><article><author/></article></bib>"))
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+        processor = FixQueryProcessor(index)
+        result = processor.query("//article[author]")
+        assert result.result_count == 1
+        assert result.candidate_count >= 1

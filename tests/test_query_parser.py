@@ -1,0 +1,145 @@
+"""Tests for the path-expression parser and AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuerySyntaxError, UnsupportedQueryError
+from repro.query import Axis, parse_query
+
+# Every query published in the paper's evaluation section (Sections 6.2-6.4).
+PAPER_QUERIES = [
+    "/article/epilog[acknoledgements]/references/a_id",
+    "/article/prolog[keywords]/authors/author/contact[phone]",
+    "/article[epilog]/prolog/authors/author",
+    "//proceedings[booktitle]/title[sup][i]",
+    "//article[number]/author",
+    "//inproceedings[url]/title",
+    "//category/description[parlist]/parlist/listitem/text",
+    "//closed_auction/annotation/description/text",
+    "//open_auction[seller]/annotation/description/text",
+    "//EMPTY/S/NP[PP]/NP",
+    "//S[VP]/NP/NP/PP/NP",
+    "//EMPTY/S[VP]/NP",
+    "//item/mailbox/mail/text/emph/keyword",
+    "//description/parlist/listitem",
+    "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+    "//item[payment][quantity][shipping][mailbox/mail/text]/description/parlist",
+    "//EMPTY/S/NP/NP/PP",
+    "//EMPTY/S/VP",
+    "//dblp/inproceedings/author",
+    "//inproceedings[url]/title[sub][i]",
+    '//proceedings[publisher="Springer"][title]',
+    '//inproceedings[year="1998"][title]/author',
+]
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_parses(self, text):
+        parse_query(text)
+
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_roundtrip_is_stable(self, text):
+        once = parse_query(text)
+        again = parse_query(once.to_string())
+        assert again == once
+
+
+class TestParserStructure:
+    def test_single_step(self):
+        path = parse_query("/a")
+        assert len(path.steps) == 1
+        assert path.steps[0].axis is Axis.CHILD
+        assert path.steps[0].name == "a"
+
+    def test_descendant_leading_axis(self):
+        path = parse_query("//a/b")
+        assert path.steps[0].axis is Axis.DESCENDANT
+        assert path.steps[1].axis is Axis.CHILD
+
+    def test_interior_descendant_axis(self):
+        path = parse_query("//a//b/c")
+        assert path.steps[1].axis is Axis.DESCENDANT
+        assert path.has_interior_descendant_axis()
+
+    def test_structural_predicate(self):
+        path = parse_query("//a[b/c]/d")
+        predicate = path.steps[0].predicates[0]
+        assert predicate.value is None
+        assert [s.name for s in predicate.path.steps] == ["b", "c"]
+
+    def test_multiple_predicates(self):
+        path = parse_query("//a[b][c][d]")
+        assert len(path.steps[0].predicates) == 3
+
+    def test_nested_predicates(self):
+        path = parse_query("//a[b[c][d]/e]")
+        outer = path.steps[0].predicates[0]
+        b_step = outer.path.steps[0]
+        assert len(b_step.predicates) == 2
+        assert outer.path.steps[1].name == "e"
+
+    def test_value_predicate(self):
+        path = parse_query('//a[b = "hello world"]')
+        predicate = path.steps[0].predicates[0]
+        assert predicate.value == "hello world"
+        assert path.has_value_predicates()
+
+    def test_value_predicate_single_quotes(self):
+        path = parse_query("//a[b='x']")
+        assert path.steps[0].predicates[0].value == "x"
+
+    def test_dot_descendant_predicate(self):
+        path = parse_query("//article[.//author]/ee")
+        predicate = path.steps[0].predicates[0]
+        assert predicate.path.steps[0].axis is Axis.DESCENDANT
+        assert path.has_interior_descendant_axis()
+
+    def test_whitespace_tolerated(self):
+        path = parse_query('  //a[ b = "x" ] / c ')
+        assert path.steps[0].predicates[0].value == "x"
+        assert path.steps[1].name == "c"
+
+    def test_depth_of_linear_path(self):
+        assert parse_query("/a/b/c").depth() == 3
+
+    def test_depth_includes_predicates(self):
+        assert parse_query("//a[b/c/d]").depth() == 4
+        assert parse_query("//a[b]/c").depth() == 2
+
+    def test_depth_ignores_value_literals(self):
+        assert parse_query('//a[b = "x"]').depth() == 2
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a", "/", "//", "/a[", "/a]", "/a[b", '/a[b="x]', "/a/[b]",
+         "/a[b]c", "/a[=\"x\"]", "/a//"],
+    )
+    def test_syntax_errors(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse_query(text)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "/a/@id",
+            "//*",
+            "/a/child::b",
+            "/ancestor::a",
+            "//a/text()",
+            "/a[b < '3']",
+            "/a[b != 'x']",
+            "/a[/b]",
+        ],
+    )
+    def test_unsupported_fragment(self, text):
+        with pytest.raises(UnsupportedQueryError):
+            parse_query(text)
+
+    def test_error_has_position(self):
+        with pytest.raises(QuerySyntaxError) as excinfo:
+            parse_query("/a[b")
+        assert excinfo.value.position is not None

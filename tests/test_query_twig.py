@@ -1,0 +1,221 @@
+"""Tests for twig-query construction, patterns, decomposition, and the
+ground-truth match semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.bisim import bisim_graph_of_document, graphs_isomorphic
+from repro.query import (
+    Axis,
+    decompose,
+    matching_elements,
+    query_matches_document,
+    twig_of,
+)
+from repro.query.match import matches_at, matches_within_depth
+from repro.xmltree import parse_xml
+
+
+class TestTwigConstruction:
+    def test_linear_path(self):
+        twig = twig_of("/a/b/c")
+        assert twig.leading_axis is Axis.CHILD
+        assert twig.root.label == "a"
+        assert twig.depth() == 3
+        assert twig.is_structural_twig()
+
+    def test_leading_descendant_still_twig(self):
+        # Definition 1 allows '//' on the root only.
+        twig = twig_of("//a/b")
+        assert twig.leading_axis is Axis.DESCENDANT
+        assert twig.is_structural_twig()
+
+    def test_interior_descendant_not_twig(self):
+        twig = twig_of("//a//b")
+        assert not twig.is_structural_twig()
+        assert not twig.is_twig()
+
+    def test_predicates_branch(self):
+        twig = twig_of("//a[b][c]/d")
+        labels = sorted(child.label for _, child in twig.root.edges)
+        assert labels == ["b", "c", "d"]
+
+    def test_value_literal_lands_on_last_predicate_step(self):
+        twig = twig_of('//a[b/c = "x"]')
+        b = next(child for _, child in twig.root.edges if child.label == "b")
+        c = b.edges[0][1]
+        assert c.value == "x"
+        assert twig.has_values()
+        assert not twig.is_structural_twig()
+        assert twig.is_twig()
+
+    def test_depth_counts_predicate_branches(self):
+        assert twig_of("//a[b/c/d]/e").depth() == 4
+
+    def test_node_count(self):
+        assert twig_of("//a[b][c]/d").root.node_count() == 4
+
+    def test_root_label(self):
+        assert twig_of("//proceedings[booktitle]/title").root_label == "proceedings"
+
+    def test_paper_example_is_twig(self):
+        assert twig_of("//article[author]/ee").is_structural_twig()
+
+    def test_paper_nontwig_examples(self):
+        assert not twig_of("//article[.//author]/ee").is_structural_twig()
+        assert not twig_of('//article[name = "John Smith"]/title').is_structural_twig()
+
+
+class TestTwigToElement:
+    def test_materialization(self):
+        element = twig_of("//a[b]/c").to_element()
+        assert element.tag == "a"
+        assert sorted(e.tag for e in element.child_elements()) == ["b", "c"]
+
+    def test_value_becomes_text_child(self):
+        element = twig_of('//a[b = "v"]').to_element()
+        b = next(element.child_elements())
+        assert b.text() == "v"
+
+    def test_interior_descendant_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            twig_of("//a//b").to_element()
+
+
+class TestTwigPattern:
+    def test_pattern_merges_identical_branches(self):
+        # //a[b/x][b/x] and //a[b/x] have the same twig pattern.
+        p1 = twig_of("//a[b/x][b/x]").pattern()
+        p2 = twig_of("//a[b/x]").pattern()
+        assert graphs_isomorphic(p1, p2)
+
+    def test_pattern_equals_bisim_of_equivalent_document(self):
+        pattern = twig_of("//a[b][c]").pattern()
+        doc_graph = bisim_graph_of_document(parse_xml("<a><b/><c/></a>"))
+        assert graphs_isomorphic(pattern, doc_graph)
+
+    def test_value_pattern_requires_mapping(self):
+        twig = twig_of('//a[b = "v"]')
+        with pytest.raises(UnsupportedQueryError):
+            twig.pattern()
+        pattern = twig.pattern(text_label=lambda value: "#v0")
+        labels = {v.label for v in pattern.vertices}
+        assert "#v0" in labels
+
+    def test_leading_axis_rewrite(self):
+        twig = twig_of("//a/b")
+        rewritten = twig.with_child_leading_axis()
+        assert rewritten.leading_axis is Axis.CHILD
+        assert rewritten.root is twig.root
+
+
+class TestDecompose:
+    def test_twig_passes_through(self):
+        twig = twig_of("//a[b]/c")
+        parts = decompose(twig)
+        assert len(parts) == 1
+        assert parts[0].root == twig.root
+
+    def test_paper_example(self):
+        # //open_auction[.//bidder[name][email]]/price
+        parts = decompose("//open_auction[.//bidder[name][email]]/price")
+        assert len(parts) == 2
+        top, fragment = parts
+        assert top.root.label == "open_auction"
+        assert [child.label for _, child in top.root.edges] == ["price"]
+        assert fragment.root.label == "bidder"
+        assert sorted(child.label for _, child in fragment.root.edges) == [
+            "email",
+            "name",
+        ]
+        assert fragment.leading_axis is Axis.DESCENDANT
+
+    def test_interior_descendant_on_main_path(self):
+        parts = decompose("//a/b//c/d")
+        assert len(parts) == 2
+        assert parts[0].root.label == "a"
+        assert parts[0].depth() == 2
+        assert parts[1].root.label == "c"
+        assert parts[1].depth() == 2
+
+    def test_all_fragments_are_twigs(self):
+        parts = decompose("//a[.//b[.//c]]//d/e")
+        assert len(parts) == 4
+        assert all(p.is_structural_twig() for p in parts)
+
+
+class TestMatchSemantics:
+    DOC = parse_xml(
+        "<bib>"
+        "<article><author><email/></author><title/></article>"
+        "<book><author><phone/></author><title/></book>"
+        "</bib>"
+    )
+
+    def test_simple_match(self):
+        assert query_matches_document(twig_of("//article/author/email"), self.DOC)
+
+    def test_simple_non_match(self):
+        assert not query_matches_document(twig_of("//article/author/phone"), self.DOC)
+
+    def test_branching_predicate(self):
+        assert query_matches_document(twig_of("//article[title]/author"), self.DOC)
+        assert not query_matches_document(twig_of("//article[isbn]/author"), self.DOC)
+
+    def test_descendant_edge(self):
+        assert query_matches_document(twig_of("//bib//email"), self.DOC)
+        assert query_matches_document(twig_of("//bib[.//phone]"), self.DOC)
+
+    def test_leading_child_axis_binds_document_root(self):
+        assert query_matches_document(twig_of("/bib/article"), self.DOC)
+        assert not query_matches_document(twig_of("/article"), self.DOC)
+
+    def test_matching_elements_positions(self):
+        hits = matching_elements(twig_of("//author"), self.DOC)
+        assert len(hits) == 2
+        assert all(e.tag == "author" for e in hits)
+
+    def test_value_match(self):
+        doc = parse_xml("<a><b>x</b><b>y</b></a>")
+        assert query_matches_document(twig_of('//a[b = "x"]'), doc)
+        assert not query_matches_document(twig_of('//a[b = "z"]'), doc)
+
+    def test_matches_at_respects_binding(self):
+        article = next(self.DOC.root.find_all("article"))
+        book = next(self.DOC.root.find_all("book"))
+        twig = twig_of("//article/author/email")
+        assert matches_at(twig.root, article)
+        assert not matches_at(twig.root, book)
+
+    def test_descendant_means_strict_descendant(self):
+        doc = parse_xml("<a><a/></a>")
+        # //a//a requires an `a` strictly below some `a`.
+        assert query_matches_document(twig_of("//a//a"), doc)
+        single = parse_xml("<a/>")
+        assert not query_matches_document(twig_of("//a//a"), single)
+
+
+class TestDepthLimitedMatch:
+    DOC = parse_xml("<a><b><c><d/></c></b></a>")
+
+    def test_within_horizon(self):
+        twig = twig_of("/a/b").with_child_leading_axis()
+        assert matches_within_depth(twig, self.DOC.root, 2)
+
+    def test_beyond_horizon(self):
+        twig = twig_of("/a/b/c").with_child_leading_axis()
+        assert not matches_within_depth(twig, self.DOC.root, 2)
+        assert matches_within_depth(twig, self.DOC.root, 3)
+
+    def test_descendant_edge_respects_horizon(self):
+        twig = twig_of("//a[.//d]")
+        top = decompose(twig)[0]  # just 'a'
+        assert matches_within_depth(top, self.DOC.root, 2)
+        full = twig_of("/a")
+        assert matches_within_depth(full, self.DOC.root, 0)
+
+    def test_unlimited_horizon(self):
+        twig = twig_of("/a/b/c/d")
+        assert matches_within_depth(twig, self.DOC.root, 0)

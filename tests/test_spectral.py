@@ -1,0 +1,357 @@
+"""Unit and property tests for the spectral feature machinery.
+
+The central property test here is Theorem 3 as *stated*: for Hermitian
+``iM``, every principal submatrix (= induced subgraph with matching
+weights) has an eigenvalue range contained in the full matrix's range
+(Cauchy interlacing).  ``TestPaperGap`` pins the case the theorem does
+NOT cover — see DESIGN.md §5a.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternTooLargeError
+from repro.bisim import bisim_graph_of_document
+from repro.spectral import (
+    ALL_COVERING_RANGE,
+    EdgeLabelEncoder,
+    FeatureKey,
+    FeatureRange,
+    eigenvalue_range,
+    hermitian_of,
+    pattern_features,
+    pattern_matrix,
+    spectrum,
+    spectrum_contains,
+)
+from repro.xmltree import parse_xml
+
+
+def graph_of(xml: str):
+    return bisim_graph_of_document(parse_xml(xml))
+
+
+# --------------------------------------------------------------------- #
+# Encoder
+# --------------------------------------------------------------------- #
+
+
+class TestEdgeLabelEncoder:
+    def test_codes_start_at_one(self):
+        encoder = EdgeLabelEncoder()
+        assert encoder.encode("a", "b") == 1
+
+    def test_codes_are_stable(self):
+        encoder = EdgeLabelEncoder()
+        first = encoder.encode("a", "b")
+        encoder.encode("a", "c")
+        assert encoder.encode("a", "b") == first
+
+    def test_distinct_pairs_get_distinct_codes(self):
+        encoder = EdgeLabelEncoder()
+        codes = {
+            encoder.encode(p, c)
+            for p in ("a", "b", "c")
+            for c in ("x", "y", "z")
+        }
+        assert len(codes) == 9
+
+    def test_direction_matters(self):
+        encoder = EdgeLabelEncoder()
+        assert encoder.encode("a", "b") != encoder.encode("b", "a")
+
+    def test_lookup_does_not_assign(self):
+        encoder = EdgeLabelEncoder()
+        assert encoder.lookup("a", "b") is None
+        assert len(encoder) == 0
+        encoder.encode("a", "b")
+        assert encoder.lookup("a", "b") == 1
+
+    def test_roundtrip_serialization(self):
+        encoder = EdgeLabelEncoder()
+        encoder.encode("a", "b")
+        encoder.encode("x:ns", "y")
+        restored = EdgeLabelEncoder.from_dict(encoder.to_dict())
+        assert restored.lookup("a", "b") == 1
+        assert restored.lookup("x:ns", "y") == 2
+        assert ("a", "b") in restored
+
+
+# --------------------------------------------------------------------- #
+# Matrix construction
+# --------------------------------------------------------------------- #
+
+
+class TestPatternMatrix:
+    def test_antisymmetry(self):
+        graph = graph_of("<a><b><c/></b><d/></a>")
+        matrix = pattern_matrix(graph, EdgeLabelEncoder())
+        assert np.array_equal(matrix.T, -matrix)
+
+    def test_diagonal_is_zero(self):
+        graph = graph_of("<a><b/><c/></a>")
+        matrix = pattern_matrix(graph, EdgeLabelEncoder())
+        assert np.all(np.diag(matrix) == 0)
+
+    def test_dimension_equals_reachable_vertices(self):
+        graph = graph_of("<a><b/><b/><c/></a>")
+        matrix = pattern_matrix(graph, EdgeLabelEncoder())
+        assert matrix.shape == (3, 3)
+
+    def test_same_label_pairs_share_weight(self):
+        # Figure 2's encoding example: both article->author edges get the
+        # same weight.
+        graph = graph_of("<bib><article><x/></article><article><y/></article></bib>")
+        encoder = EdgeLabelEncoder()
+        matrix = pattern_matrix(graph, encoder)
+        bib_article = encoder.lookup("bib", "article")
+        assert bib_article is not None
+        # The two article classes (different children) stay separate, and
+        # both bib->article edges carry the *same* weight.
+        assert np.count_nonzero(matrix == bib_article) == 2
+
+    def test_single_vertex_matrix_is_empty_of_weights(self):
+        graph = graph_of("<a/>")
+        matrix = pattern_matrix(graph, EdgeLabelEncoder())
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == 0
+
+    def test_max_vertices_cap(self):
+        graph = graph_of("<a><b/><c/><d/></a>")
+        with pytest.raises(PatternTooLargeError):
+            pattern_matrix(graph, EdgeLabelEncoder(), max_vertices=3)
+
+    def test_shared_encoder_gives_equal_matrices_for_equal_structures(self):
+        encoder = EdgeLabelEncoder()
+        m1 = pattern_matrix(graph_of("<a><b/></a>"), encoder)
+        m2 = pattern_matrix(graph_of("<a><b/></a>"), encoder)
+        assert np.array_equal(m1, m2)
+
+
+# --------------------------------------------------------------------- #
+# Eigenvalues
+# --------------------------------------------------------------------- #
+
+
+class TestEigen:
+    def test_hermitian_of_is_hermitian(self):
+        graph = graph_of("<a><b><c/></b></a>")
+        matrix = pattern_matrix(graph, EdgeLabelEncoder())
+        h = hermitian_of(matrix)
+        assert np.allclose(h, h.conj().T)
+
+    def test_spectrum_is_real_and_sorted(self):
+        graph = graph_of("<a><b/><c><d/></c></a>")
+        values = spectrum(pattern_matrix(graph, EdgeLabelEncoder()))
+        assert values.dtype == np.float64
+        assert np.all(np.diff(values) >= 0)
+
+    def test_spectrum_symmetric_about_zero(self):
+        # Real anti-symmetric matrices have +/- paired spectra, hence
+        # lambda_min == -lambda_max (see eigen.py module docs).
+        graph = graph_of("<a><b><c/><d/></b><e/></a>")
+        lmin, lmax = eigenvalue_range(pattern_matrix(graph, EdgeLabelEncoder()))
+        assert lmin == pytest.approx(-lmax, abs=1e-9)
+
+    def test_single_edge_eigenvalue_is_weight(self):
+        # M = [[0, w], [-w, 0]] has spectrum {-w, +w}.
+        graph = graph_of("<a><b/></a>")
+        encoder = EdgeLabelEncoder()
+        matrix = pattern_matrix(graph, encoder)
+        w = encoder.lookup("a", "b")
+        lmin, lmax = eigenvalue_range(matrix)
+        assert lmax == pytest.approx(w)
+        assert lmin == pytest.approx(-w)
+
+    def test_star_eigenvalue_is_root_sum_of_squares(self):
+        # A star r->{a,b,c} has lambda_max = sqrt(w_a^2 + w_b^2 + w_c^2).
+        graph = graph_of("<r><a/><b/><c/></r>")
+        encoder = EdgeLabelEncoder()
+        matrix = pattern_matrix(graph, encoder)
+        expected = math.sqrt(sum(encoder.lookup("r", t) ** 2 for t in "abc"))
+        _, lmax = eigenvalue_range(matrix)
+        assert lmax == pytest.approx(expected)
+
+    def test_empty_matrix(self):
+        assert eigenvalue_range(np.zeros((0, 0))) == (0.0, 0.0)
+
+    def test_single_vertex_range_is_zero(self):
+        graph = graph_of("<a/>")
+        assert eigenvalue_range(pattern_matrix(graph, EdgeLabelEncoder())) == (0.0, 0.0)
+
+    def test_isomorphic_structures_are_isospectral(self):
+        encoder = EdgeLabelEncoder()
+        # Same structure, sibling order permuted -> same bisim graph ->
+        # same spectrum under a shared encoder.
+        s1 = spectrum(pattern_matrix(graph_of("<a><b><x/></b><c/></a>"), encoder))
+        s2 = spectrum(pattern_matrix(graph_of("<a><c/><b><x/></b></a>"), encoder))
+        assert np.allclose(s1, s2)
+
+
+# --------------------------------------------------------------------- #
+# Interlacing (Theorem 3, as stated: induced subgraphs)
+# --------------------------------------------------------------------- #
+
+
+@st.composite
+def antisymmetric_matrices(draw) -> np.ndarray:
+    """Random integer-weighted anti-symmetric matrices (DAG-shaped:
+    weights only above the diagonal, mirroring edges i -> j with i < j,
+    which is the general form of a DAG under a topological numbering)."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            weight = draw(st.integers(min_value=0, max_value=9))
+            matrix[i, j] = weight
+            matrix[j, i] = -weight
+    return matrix
+
+
+class TestInterlacing:
+    @settings(max_examples=200, deadline=None)
+    @given(antisymmetric_matrices(), st.data())
+    def test_induced_subgraph_range_containment(self, matrix, data):
+        """Theorem 3: principal submatrix ranges interlace."""
+        n = matrix.shape[0]
+        keep = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=n,
+                unique=True,
+            )
+        )
+        sub = matrix[np.ix_(sorted(keep), sorted(keep))]
+        lmin, lmax = eigenvalue_range(matrix)
+        smin, smax = eigenvalue_range(sub)
+        tolerance = 1e-9
+        assert lmin - tolerance <= smin
+        assert smax <= lmax + tolerance
+
+    @settings(max_examples=100, deadline=None)
+    @given(antisymmetric_matrices())
+    def test_full_spectrum_subset_property(self, matrix):
+        """The stronger claim in Section 3.3: deleting one vertex leaves a
+        spectrum that interlaces; the (n-1)-subset check via
+        spectrum_contains must accept every 1-element prefix interval."""
+        full = spectrum(matrix)
+        # Not a strict multiset-subset in general (interlacing, not
+        # containment, holds eigenvalue-by-eigenvalue) — but the extreme
+        # eigenvalues always bracket the submatrix's, which is what the
+        # range test uses.  Check the bracket for every single deletion.
+        n = matrix.shape[0]
+        for drop in range(n):
+            keep = [i for i in range(n) if i != drop]
+            sub = spectrum(matrix[np.ix_(keep, keep)])
+            assert full[0] - 1e-9 <= sub[0]
+            assert sub[-1] <= full[-1] + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Feature keys and pruning predicate
+# --------------------------------------------------------------------- #
+
+
+class TestFeatureKey:
+    def test_self_coverage(self):
+        graph = graph_of("<a><b/></a>")
+        key = pattern_features(graph, EdgeLabelEncoder())
+        assert key.covers(key)
+
+    def test_label_mismatch_prunes(self):
+        encoder = EdgeLabelEncoder()
+        indexed = pattern_features(graph_of("<a><b/></a>"), encoder)
+        query = pattern_features(graph_of("<z><b/></z>"), encoder)
+        assert not indexed.covers(query)
+
+    def test_wider_range_covers_narrower(self):
+        encoder = EdgeLabelEncoder()
+        indexed = pattern_features(graph_of("<a><b/><c/><d/></a>"), encoder)
+        query = pattern_features(graph_of("<a><b/></a>"), encoder)
+        assert indexed.covers(query)
+        assert not query.covers(indexed)
+
+    def test_guard_band_absorbs_roundoff(self):
+        base = FeatureKey("a", FeatureRange(-2.0, 2.0))
+        jittered = FeatureKey("a", FeatureRange(-2.0 - 1e-9, 2.0 + 1e-9))
+        assert base.covers(jittered)
+
+    def test_all_covering_range(self):
+        fallback = FeatureKey("a", ALL_COVERING_RANGE)
+        narrow = FeatureKey("a", FeatureRange(-100.0, 100.0))
+        assert fallback.covers(narrow)
+        assert fallback.range.is_all_covering()
+        assert not narrow.range.is_all_covering()
+
+    def test_range_width(self):
+        assert FeatureRange(-2.0, 3.0).width() == 5.0
+        assert math.isinf(ALL_COVERING_RANGE.width())
+
+    def test_single_node_query_covered_by_everything_with_same_label(self):
+        encoder = EdgeLabelEncoder()
+        indexed = pattern_features(graph_of("<a><b><c/></b></a>"), encoder)
+        query = pattern_features(graph_of("<a/>"), encoder)
+        assert indexed.covers(query)
+
+
+class TestSpectrumContains:
+    def test_identity(self):
+        s = np.array([-2.0, 0.0, 2.0])
+        assert spectrum_contains(s, s)
+
+    def test_subset(self):
+        indexed = np.array([-3.0, -1.0, 1.0, 3.0])
+        assert spectrum_contains(indexed, np.array([-1.0, 3.0]))
+
+    def test_not_subset(self):
+        indexed = np.array([-3.0, 3.0])
+        assert not spectrum_contains(indexed, np.array([0.0]))
+
+    def test_multiplicity_respected(self):
+        indexed = np.array([1.0, 2.0])
+        assert not spectrum_contains(indexed, np.array([1.0, 1.0]))
+        assert spectrum_contains(np.array([1.0, 1.0, 2.0]), np.array([1.0, 1.0]))
+
+    def test_tolerance(self):
+        indexed = np.array([1.0])
+        assert spectrum_contains(indexed, np.array([1.0 + 1e-8]))
+        assert not spectrum_contains(indexed, np.array([1.1]))
+
+    def test_empty_query_always_contained(self):
+        assert spectrum_contains(np.array([1.0]), np.zeros(0))
+
+
+# --------------------------------------------------------------------- #
+# The documented gap in the paper's Theorem 5 (DESIGN.md §5a)
+# --------------------------------------------------------------------- #
+
+
+class TestPaperGap:
+    """FIX as published can prune a true match when labels repeat along a
+    recursive path.  This pins the counterexample so the behaviour is
+    documented and stable, not silently depended upon."""
+
+    def test_homomorphic_match_can_escape_range_containment(self):
+        encoder = EdgeLabelEncoder()
+        # Query twig /u/v/u/v: a 4-chain.
+        query_graph = graph_of("<u><v><u><v/></u></v></u>")
+        # Data tree u(v(u(v)), v): its bisim graph carries an extra
+        # (u, v)-weighted edge from the root class to the shared leaf
+        # class, which *shrinks* lambda_max below the query's.
+        data_graph = graph_of("<u><v><u><v/></u></v><v/></u>")
+        query_key = pattern_features(query_graph, encoder)
+        data_key = pattern_features(data_graph, encoder)
+        # The query genuinely matches the data (checked structurally:
+        # root u, child v, grandchild u, great-grandchild v).
+        # ...yet the pruning predicate rejects it:
+        assert not data_key.covers(query_key)
+        # and the failure is in the eigenvalue range, not the label:
+        assert data_key.root_label == query_key.root_label
+        assert query_key.range.lmax > data_key.range.lmax

@@ -1,0 +1,133 @@
+"""Tests for the index consistency checker."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.btree import encode_feature_key
+from repro.cli import main
+from repro.core import (
+    FixIndex,
+    FixIndexConfig,
+    load_index,
+    save_index,
+    verify_index,
+)
+from repro.storage import NodePointer, PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+DOCS = [
+    "<site><item><name/><payment/></item><item><name/></item></site>",
+    "<site><person><name/><phone/></person></site>",
+]
+
+
+def build(depth_limit: int = 3, clustered: bool = False) -> FixIndex:
+    store = PrimaryXMLStore()
+    for source in DOCS:
+        store.add_document(parse_xml(source))
+    return FixIndex.build(
+        store, FixIndexConfig(depth_limit=depth_limit, clustered=clustered)
+    )
+
+
+class TestCleanIndexes:
+    @pytest.mark.parametrize("depth_limit", [0, 3])
+    @pytest.mark.parametrize("clustered", [False, True])
+    def test_fresh_index_verifies(self, depth_limit, clustered):
+        index = build(depth_limit, clustered)
+        report = verify_index(index)
+        assert report.ok, report.problems
+        assert report.entries_checked == index.entry_count
+
+    def test_reloaded_index_verifies(self, tmp_path):
+        index = build()
+        directory = os.fspath(tmp_path / "idx")
+        save_index(index, directory)
+        reloaded = load_index(directory, index.store)
+        report = verify_index(reloaded)
+        assert report.ok, report.problems
+
+    def test_fast_mode_skips_recomputation(self):
+        index = build()
+        report = verify_index(index, recompute_keys=False)
+        assert report.ok
+        assert report.entries_checked == index.entry_count
+
+    def test_after_incremental_maintenance(self):
+        index = build()
+        new_id = index.add_document(parse_xml("<site><misc><name/></misc></site>"))
+        index.remove_document(0)
+        report = verify_index(index)
+        assert report.ok, report.problems
+        assert new_id in {e.pointer.doc_id for e in index.iter_entries()}
+
+
+class TestDetection:
+    def test_detects_phantom_entry(self):
+        index = build()
+        index.btree.insert(
+            encode_feature_key("ghost", 1.0, -1.0),
+            NodePointer(0, 1).pack(),
+        )
+        report = verify_index(index)
+        assert not report.ok
+        assert any("label mismatch" in p or "orphan" in p for p in report.problems)
+
+    def test_detects_dangling_pointer(self):
+        index = build()
+        index.btree.insert(
+            encode_feature_key("item", 5.0, -5.0),
+            NodePointer(99, 0).pack(),
+        )
+        report = verify_index(index)
+        assert not report.ok
+        assert any("dangling pointer" in p for p in report.problems)
+
+    def test_detects_missing_entry(self):
+        index = build()
+        # Steal one entry out of the B-tree.
+        raw_key, raw_value = next(index.btree.items())
+        assert index.btree.delete(raw_key, raw_value)
+        report = verify_index(index)
+        assert not report.ok
+        assert any("missing entry" in p for p in report.problems)
+
+    def test_detects_stale_key(self):
+        index = build()
+        # Replace an entry's key with one carrying wrong eigenvalues.
+        raw_key, raw_value = next(index.btree.items())
+        from repro.btree.keys import decode_feature_key
+
+        label, _lmax, _lmin = decode_feature_key(raw_key)
+        assert index.btree.delete(raw_key, raw_value)
+        index.btree.insert(encode_feature_key(label, 12345.0, -12345.0), raw_value)
+        report = verify_index(index)
+        assert not report.ok
+        assert any("stale key" in p for p in report.problems)
+
+    def test_detects_duplicate_pointer(self):
+        index = build()
+        raw_key, raw_value = next(index.btree.items())
+        index.btree.insert(raw_key, raw_value)
+        report = verify_index(index)
+        assert not report.ok
+        assert any("duplicate entry" in p for p in report.problems)
+
+
+class TestVerifyCLI:
+    def test_clean_index_exits_zero(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "idx")
+        assert main(
+            ["build", "--dataset", "xmark", "--scale", "0.05", "--out", directory]
+        ) == 0
+        assert main(["verify", directory]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fast_flag(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "idx")
+        main(["build", "--dataset", "xmark", "--scale", "0.05", "--out", directory])
+        assert main(["verify", directory, "--fast"]) == 0
+        assert "OK" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Unit tests for the XML node model and document numbering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree import Document, Element, Text
+
+
+def build_bib() -> Document:
+    """The bibliography document from Figure 1 of the paper (abridged)."""
+    bib = Element("bib")
+    article = bib.add_element("article")
+    author = article.add_element("author")
+    author.add_element("address")
+    author.add_element("email")
+    article.add_element("title")
+    book = bib.add_element("book")
+    book_author = book.add_element("author")
+    book_author.add_element("affiliation")
+    book.add_element("title")
+    return Document(bib)
+
+
+class TestElementConstruction:
+    def test_append_sets_parent(self):
+        parent = Element("a")
+        child = parent.add_element("b")
+        assert child.parent is parent
+        assert list(parent.child_elements()) == [child]
+
+    def test_add_text(self):
+        element = Element("a")
+        text = element.add_text("hello")
+        assert isinstance(text, Text)
+        assert element.text() == "hello"
+
+    def test_text_concatenates_direct_children_only(self):
+        element = Element("a")
+        element.add_text("x")
+        child = element.add_element("b")
+        child.add_text("inner")
+        element.add_text("y")
+        assert element.text() == "xy"
+
+    def test_attributes_default_empty(self):
+        assert Element("a").attributes == {}
+
+    def test_attributes_preserved(self):
+        element = Element("a", {"id": "1"})
+        assert element.attributes == {"id": "1"}
+
+
+class TestTraversal:
+    def test_iter_is_preorder(self):
+        doc = build_bib()
+        tags = [e.tag for e in doc.root.iter()]
+        assert tags == [
+            "bib",
+            "article",
+            "author",
+            "address",
+            "email",
+            "title",
+            "book",
+            "author",
+            "affiliation",
+            "title",
+        ]
+
+    def test_descendants_excludes_self(self):
+        doc = build_bib()
+        tags = [e.tag for e in doc.root.descendants()]
+        assert tags[0] == "article"
+        assert "bib" not in tags
+
+    def test_find_all(self):
+        doc = build_bib()
+        assert sum(1 for _ in doc.root.find_all("author")) == 2
+        assert sum(1 for _ in doc.root.find_all("title")) == 2
+        assert sum(1 for _ in doc.root.find_all("missing")) == 0
+
+    def test_ancestors(self):
+        doc = build_bib()
+        email = next(doc.root.find_all("email"))
+        assert [a.tag for a in email.ancestors()] == ["author", "article", "bib"]
+
+
+class TestNumbering:
+    def test_preorder_ids_are_consecutive(self):
+        doc = build_bib()
+        ids = [e.node_id for e in doc.elements()]
+        assert ids == sorted(ids)
+        assert ids[0] == 0
+
+    def test_region_encoding_containment(self):
+        doc = build_bib()
+        article = next(doc.root.find_all("article"))
+        email = next(doc.root.find_all("email"))
+        book = next(doc.root.find_all("book"))
+        assert article.contains(email)
+        assert not book.contains(email)
+        assert doc.root.contains(article)
+        assert article.contains(article)
+
+    def test_levels(self):
+        doc = build_bib()
+        assert doc.root.level == 1
+        email = next(doc.root.find_all("email"))
+        assert email.level == 4
+
+    def test_max_depth(self):
+        assert build_bib().max_depth() == 4
+
+    def test_element_count(self):
+        assert build_bib().element_count() == 10
+
+    def test_node_count_includes_text(self):
+        root = Element("a")
+        root.add_text("t")
+        root.add_element("b")
+        doc = Document(root)
+        assert doc.element_count() == 2
+        assert doc.node_count() == 3
+
+    def test_element_at_roundtrip(self):
+        doc = build_bib()
+        for element in doc.elements():
+            assert doc.element_at(element.node_id) is element
+
+    def test_element_at_missing_raises(self):
+        doc = build_bib()
+        with pytest.raises(KeyError):
+            doc.element_at(10 ** 6)
+
+    def test_renumber_after_mutation(self):
+        doc = build_bib()
+        doc.root.add_element("new")
+        doc.renumber()
+        assert doc.element_count() == 11
+        ids = [e.node_id for e in doc.elements()]
+        assert ids == sorted(ids)
+
+
+class TestMeasurements:
+    def test_leaf_depth_is_one(self):
+        assert Element("a").depth() == 1
+
+    def test_depth_counts_levels(self):
+        doc = build_bib()
+        assert doc.root.depth() == 4
+        author = next(doc.root.find_all("author"))
+        assert author.depth() == 2
+
+    def test_size(self):
+        doc = build_bib()
+        assert doc.root.size() == 10
+        book = next(doc.root.find_all("book"))
+        assert book.size() == 4

@@ -1,0 +1,219 @@
+"""Unit tests for the XML parser, event streams, and serializer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BisimulationError, XMLSyntaxError
+from repro.xmltree import (
+    CloseEvent,
+    Document,
+    Element,
+    OpenEvent,
+    TextEvent,
+    parse_xml,
+    parse_xml_events,
+    serialize,
+    serialize_fragment,
+    tree_events,
+    tree_from_events,
+)
+from repro.xmltree.events import validate_events
+
+
+class TestParserBasics:
+    def test_single_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.root.tag == "a"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        assert [e.tag for e in doc.root.iter()] == ["a", "b", "c", "d"]
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello</a>")
+        assert doc.root.text() == "hello"
+
+    def test_mixed_content(self):
+        doc = parse_xml("<a>x<b>y</b>z</a>")
+        assert doc.root.text() == "xz"
+        b = next(doc.root.find_all("b"))
+        assert b.text() == "y"
+
+    def test_whitespace_only_text_dropped(self):
+        doc = parse_xml("<a>\n  <b/>\n</a>")
+        assert doc.root.text() == ""
+        assert doc.root.size() == 2
+
+    def test_attributes(self):
+        doc = parse_xml('<a id="1" name=\'x y\'/>')
+        assert doc.root.attributes == {"id": "1", "name": "x y"}
+
+    def test_xml_declaration_and_comment_skipped(self):
+        doc = parse_xml('<?xml version="1.0"?><!-- hi --><a/><!-- bye -->')
+        assert doc.root.tag == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_xml('<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a>t</a>')
+        assert doc.root.text() == "t"
+
+    def test_processing_instruction_skipped(self):
+        doc = parse_xml("<a><?target data?><b/></a>")
+        assert doc.root.size() == 2
+
+    def test_cdata(self):
+        doc = parse_xml("<a><![CDATA[<raw> & data]]></a>")
+        assert doc.root.text() == "<raw> & data"
+
+    def test_entities_in_text(self):
+        doc = parse_xml("<a>&lt;x&gt; &amp; &quot;y&quot; &apos;z&apos;</a>")
+        assert doc.root.text() == "<x> & \"y\" 'z'"
+
+    def test_numeric_character_references(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.root.text() == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a t="&amp;&lt;"/>')
+        assert doc.root.attributes["t"] == "&<"
+
+    def test_namespace_prefixes_kept_verbatim(self):
+        doc = parse_xml("<ns:a><ns:b/></ns:a>")
+        assert doc.root.tag == "ns:a"
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "</a>",
+            "<a/><b/>",
+            "<a><b></a></b>",
+            "<a>&unknown;</a>",
+            "<a",
+            "<a b=c/>",
+            "<!-- unterminated <a/>",
+            "<![CDATA[ unterminated <a/>",
+            "<a/>trailing",
+            "text<a/>",
+        ],
+    )
+    def test_malformed_input_raises(self, source):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_xml("<a>&nope;</a>")
+        assert excinfo.value.position is not None
+
+
+class TestEventStream:
+    def test_parse_events_sequence(self):
+        events = list(parse_xml_events("<a><b>t</b></a>"))
+        kinds = [type(e).__name__.replace("OpenEventWithAttributes", "OpenEvent")
+                 for e in events]
+        assert kinds == [
+            "OpenEvent",
+            "OpenEvent",
+            "TextEvent",
+            "CloseEvent",
+            "CloseEvent",
+        ]
+        assert events[0].label == "a"
+        assert events[1].label == "b"
+        assert events[2].value == "t"
+
+    def test_event_pointers_match_document_ids(self):
+        source = "<a><b>t</b><c/></a>"
+        doc = parse_xml(source)
+        opens = [e for e in parse_xml_events(source) if isinstance(e, OpenEvent)]
+        ids = [e.node_id for e in doc.elements()]
+        assert [e.start_ptr for e in opens] == ids
+
+    def test_tree_events_roundtrip(self):
+        doc = parse_xml("<a><b>t</b><c><d/></c></a>")
+        rebuilt = tree_from_events(tree_events(doc.root))
+        assert serialize(rebuilt) == serialize(doc)
+
+    def test_tree_events_without_text(self):
+        doc = parse_xml("<a>t<b/></a>")
+        events = list(tree_events(doc.root, include_text=False))
+        assert not any(isinstance(e, TextEvent) for e in events)
+
+    def test_validate_events_accepts_well_formed(self):
+        doc = parse_xml("<a><b/></a>")
+        assert len(list(validate_events(tree_events(doc.root)))) == 4
+
+    def test_validate_events_rejects_mismatch(self):
+        bad = [OpenEvent("a", 0), CloseEvent("b")]
+        with pytest.raises(BisimulationError):
+            list(validate_events(iter(bad)))
+
+    def test_validate_events_rejects_unclosed(self):
+        bad = [OpenEvent("a", 0)]
+        with pytest.raises(BisimulationError):
+            list(validate_events(iter(bad)))
+
+    def test_validate_events_rejects_orphan_text(self):
+        bad = [TextEvent("x", 0)]
+        with pytest.raises(BisimulationError):
+            list(validate_events(iter(bad)))
+
+
+class TestSerializer:
+    def test_compact_roundtrip(self):
+        source = '<a x="1"><b>hello &amp; goodbye</b><c/></a>'
+        doc = parse_xml(source)
+        again = parse_xml(serialize(doc))
+        assert serialize(again) == serialize(doc)
+
+    def test_pretty_print_roundtrips_structurally(self):
+        doc = parse_xml("<a><b>t</b><c/></a>")
+        pretty = serialize(doc, indent=2)
+        assert "\n" in pretty
+        again = parse_xml(pretty)
+        assert [e.tag for e in again.root.iter()] == [e.tag for e in doc.root.iter()]
+        assert next(again.root.find_all("b")).text() == "t"
+
+    def test_fragment_has_no_declaration(self):
+        doc = parse_xml("<a><b/></a>")
+        fragment = serialize_fragment(doc.root)
+        assert not fragment.startswith("<?xml")
+        assert fragment == "<a><b/></a>"
+
+    def test_escaping(self):
+        root = Element("a", {"k": 'v"<'})
+        root.add_text("<&>")
+        text = serialize_fragment(root)
+        assert "&lt;&amp;&gt;" in text
+        assert "&quot;" in text
+        reparsed = parse_xml(text)
+        assert reparsed.root.text() == "<&>"
+        assert reparsed.root.attributes["k"] == 'v"<'
+
+
+class TestBuilderErrors:
+    def test_multiple_roots_rejected(self):
+        events = [OpenEvent("a", 0), CloseEvent("a"), OpenEvent("b", 1), CloseEvent("b")]
+        with pytest.raises(XMLSyntaxError):
+            tree_from_events(iter(events))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tree_from_events(iter([]))
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tree_from_events(iter([OpenEvent("a", 0)]))
+
+    def test_builder_produces_document(self):
+        events = [OpenEvent("a", 0), TextEvent("t", 1), CloseEvent("a")]
+        doc = tree_from_events(iter(events))
+        assert isinstance(doc, Document)
+        assert doc.root.text() == "t"
