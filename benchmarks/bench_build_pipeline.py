@@ -1,0 +1,226 @@
+"""Build-pipeline benchmark: serial vs parallel vs cached construction.
+
+Times `FixIndex.build` over a repetitive multi-document corpus under
+four configurations:
+
+* ``serial``           — one process, feature cache off (the seed's
+  behaviour: every pattern pays its own ``eigvalsh``);
+* ``serial+cache``     — one process, cross-document feature cache on;
+* ``parallel``         — document fan-out across worker processes,
+  cache off;
+* ``parallel+cache``   — fan-out with a worker-local cache each.
+
+All four must produce **byte-identical** B-tree contents (checked here
+via a digest over ``btree.items()``); the acceptance bar is a >= 2x
+speedup of ``parallel+cache`` over the uncached serial baseline.  On a
+single-core host that speedup comes entirely from the cache eliminating
+repeated unfold + eigen work (worker-local caches still dedupe within
+each worker's chunk); on a multi-core host the fan-out stacks on top.
+
+The corpus is the limiting case of DBLP-style regularity: structurally
+identical documents, each a forest of deep, narrow chains, so the same
+large patterns (expensive ``eigvalsh``) recur in every document and the
+eigen phase dominates — the regime the FIX paper's Table 1 identifies
+as the construction bottleneck.
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_build_pipeline.py [--quick]
+
+writes ``BENCH_build.json`` at the repository root with the raw
+timings, per-phase breakdowns, cache statistics, and speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from hashlib import blake2b
+
+from repro.core import FixIndex, FixIndexConfig
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, Element
+
+TARGET_SPEEDUP = 2.0
+LABELS = ("para", "note", "item", "entry", "ref", "cite")
+
+
+def _chain(rng: random.Random, depth: int) -> Element:
+    element = Element(rng.choice(LABELS))
+    if depth > 1:
+        for _ in range(2 if rng.random() < 0.22 else 1):
+            element.append(_chain(rng, depth - 1))
+    else:
+        element.add_element("text")
+    return element
+
+
+def make_document(seed: int, chains: int, depth: int) -> Document:
+    """One deep, narrow document: ``chains`` mostly-linear nests."""
+    rng = random.Random(seed)
+    root = Element("book")
+    for _ in range(chains):
+        root.append(_chain(rng, depth))
+    return Document(root)
+
+
+def build_corpus(documents: int, chains: int, depth: int, seed: int) -> PrimaryXMLStore:
+    """``documents`` structurally identical copies of one deep document.
+
+    Identical structure across documents is the cache's best case and
+    the uncached build's worst (every document re-pays every
+    decomposition) — the regime the cross-document cache targets.
+    """
+    store = PrimaryXMLStore()
+    for _ in range(documents):
+        store.add_document(make_document(seed, chains, depth))
+    return store
+
+
+def btree_digest(index: FixIndex) -> str:
+    """Content digest of the B-tree: every (key, value) byte in order."""
+    digest = blake2b(digest_size=16)
+    for key, value in index.btree.items():
+        digest.update(len(key).to_bytes(4, "big"))
+        digest.update(key)
+        digest.update(len(value).to_bytes(4, "big"))
+        digest.update(value)
+    return digest.hexdigest()
+
+
+def run_config(
+    store: PrimaryXMLStore,
+    label: str,
+    workers: int,
+    cache: bool,
+    depth_limit: int,
+) -> dict:
+    """Build once under one configuration and collect its numbers."""
+    config = FixIndexConfig(
+        depth_limit=depth_limit, workers=workers, feature_cache=cache
+    )
+    started = time.perf_counter()
+    index = FixIndex.build(store, config)
+    seconds = time.perf_counter() - started
+    stats = index.report.stats
+    return {
+        "label": label,
+        "workers": workers,
+        "feature_cache": cache,
+        "seconds": seconds,
+        "phases": index.report.timings.as_dict(),
+        "entries": index.entry_count,
+        "eigen_computations": stats.eigen_computations,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "largest_pattern": stats.largest_pattern,
+        "btree_digest": btree_digest(index),
+    }
+
+
+def run_benchmark(
+    documents: int, chains: int, depth: int, seed: int, workers: int
+) -> dict:
+    store = build_corpus(documents, chains, depth, seed)
+    doc_ids = list(store.doc_ids())
+    elements = sum(
+        store.get_document(doc_id).element_count() for doc_id in doc_ids
+    )
+    print(f"corpus: {len(doc_ids)} identical documents, {elements} elements")
+
+    runs = []
+    for label, n_workers, cache in (
+        ("serial", 1, False),
+        ("serial+cache", 1, True),
+        ("parallel", workers, False),
+        ("parallel+cache", workers, True),
+    ):
+        run = run_config(store, label, n_workers, cache, depth_limit=depth)
+        runs.append(run)
+        hits = f", {run['cache_hits']} cache hits" if cache else ""
+        print(
+            f"{label:15s} {run['seconds']:7.2f}s  "
+            f"({run['eigen_computations']} eigvalsh{hits})"
+        )
+
+    digests = {run["btree_digest"] for run in runs}
+    baseline = runs[0]["seconds"]
+    for run in runs:
+        run["speedup"] = baseline / run["seconds"] if run["seconds"] else 0.0
+    return {
+        "corpus": {
+            "documents": documents,
+            "chains_per_document": chains,
+            "depth": depth,
+            "seed": seed,
+            "elements": elements,
+            "depth_limit": depth,
+        },
+        "workers": workers,
+        "runs": runs,
+        "byte_identical": len(digests) == 1,
+        "target_speedup": TARGET_SPEEDUP,
+        "best_speedup": max(run["speedup"] for run in runs),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny corpus smoke run (CI); skips the speedup assertion "
+        "and does not write BENCH_build.json unless --out is given",
+    )
+    parser.add_argument("--documents", type=int, default=None)
+    parser.add_argument("--chains", type=int, default=None,
+                        help="chains per document")
+    parser.add_argument("--depth", type=int, default=None,
+                        help="document depth (also used as the depth limit)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--workers", type=int, default=4, help="fan-out width for the parallel runs"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output JSON path (default: BENCH_build.json at the repo "
+        "root; quick runs print only unless --out is set)",
+    )
+    args = parser.parse_args(argv)
+
+    documents = args.documents or (4 if args.quick else 12)
+    chains = args.chains or (2 if args.quick else 3)
+    depth = args.depth or (10 if args.quick else 26)
+    report = run_benchmark(documents, chains, depth, args.seed, args.workers)
+
+    if not report["byte_identical"]:
+        print("FAIL: B-tree contents differ between configurations")
+        return 1
+    print("B-tree contents byte-identical across all configurations")
+
+    cached = next(r for r in report["runs"] if r["label"] == "parallel+cache")
+    print(
+        f"parallel+cache speedup over serial: {cached['speedup']:.2f}x "
+        f"(target {TARGET_SPEEDUP:.0f}x)"
+    )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(os.path.dirname(__file__), "..", "BENCH_build.json")
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(out)}")
+
+    if not args.quick and cached["speedup"] < TARGET_SPEEDUP:
+        print(f"FAIL: speedup below the {TARGET_SPEEDUP:.0f}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

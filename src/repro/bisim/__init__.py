@@ -24,11 +24,13 @@ Contents:
 from repro.bisim.builder import BisimGraphBuilder, bisim_graph_of_document, bisim_graph_of_events
 from repro.bisim.dag import (
     canonical_key,
+    depth_signature,
     graphs_isomorphic,
     edge_count,
     edges,
     reachable_vertices,
     topological_order,
+    vertex_signature,
 )
 from repro.bisim.graph import BisimGraph, BisimVertex
 from repro.bisim.traveler import depth_limited_graph, traveler_events
@@ -41,10 +43,12 @@ __all__ = [
     "bisim_graph_of_events",
     "canonical_key",
     "depth_limited_graph",
+    "depth_signature",
     "edge_count",
     "edges",
     "graphs_isomorphic",
     "reachable_vertices",
     "topological_order",
     "traveler_events",
+    "vertex_signature",
 ]

@@ -8,8 +8,12 @@ edge list in a deterministic order), the F&B baseline, and the test suite
 from __future__ import annotations
 
 from collections.abc import Iterator
+from hashlib import blake2b
 
 from repro.bisim.graph import BisimGraph, BisimVertex
+
+#: Digest width of a structural vertex signature, in bytes.
+SIGNATURE_BYTES = 16
 
 
 def edges(graph: BisimGraph) -> Iterator[tuple[BisimVertex, BisimVertex]]:
@@ -81,3 +85,93 @@ def canonical_key(vertex: BisimVertex, _memo: dict[int, object] | None = None) -
 def graphs_isomorphic(left: BisimGraph, right: BisimGraph) -> bool:
     """Isomorphism test for two *minimal* bisimulation graphs."""
     return canonical_key(left.root) == canonical_key(right.root)
+
+
+def vertex_signature(
+    vertex: BisimVertex, _memo: dict[int, bytes] | None = None
+) -> bytes:
+    """A compact (16-byte) digest form of :func:`canonical_key`.
+
+    Defined bottom-up as ``blake2b(label · 0x00 · sorted child
+    signatures)``: a function of the vertex's label and the *set* of
+    child signatures only, so it is invariant under vertex ids,
+    discovery order, and the document the structure came from.  For
+    minimal graphs, equal signatures mean bisimilar structures (up to
+    blake2b collisions — negligible at 128 bits), which makes the digest
+    usable both as a content address (the spectral feature cache) and as
+    a canonical sort key (the matrix builder's vertex order).
+
+    Pass a shared ``_memo`` (vid → digest) to amortize over many
+    vertices of one graph.
+    """
+    memo: dict[int, bytes] = {} if _memo is None else _memo
+    stack: list[tuple[BisimVertex, bool]] = [(vertex, False)]
+    while stack:
+        node, ready = stack.pop()
+        if node.vid in memo:
+            continue
+        if ready:
+            digest = blake2b(digest_size=SIGNATURE_BYTES)
+            digest.update(node.label.encode("utf-8"))
+            digest.update(b"\x00")
+            for child_sig in sorted(memo[child.vid] for child in node.children):
+                digest.update(child_sig)
+            memo[node.vid] = digest.digest()
+            continue
+        stack.append((node, True))
+        for child in node.children:
+            if child.vid not in memo:
+                stack.append((child, False))
+    return memo[vertex.vid]
+
+
+def depth_signature(
+    vertex: BisimVertex,
+    depth_limit: int,
+    _memo: dict[tuple[int, int], bytes] | None = None,
+) -> bytes:
+    """Signature of ``vertex``'s depth-limited pattern, without unfolding.
+
+    Equal, by construction, to ``vertex_signature`` of the root of
+    ``depth_limited_graph(vertex, depth_limit)`` — but computed directly
+    on the source DAG in O(vertices × depth) hash steps, where actually
+    unfolding can explode exponentially.  This is what lets a feature
+    -cache *hit* skip both the BISIM-TRAVELER replay and the
+    eigen-decomposition.
+
+    The equivalence holds because re-minimizing the truncated unfolding
+    merges children exactly when their depth-``d-1`` views coincide;
+    here that merge is the deduplication of equal child digests (a
+    ``set``), which ``vertex_signature`` never needs on an already
+    -minimal graph but truncation can reintroduce.  The root of the
+    unfolding sits at depth 1, matching
+    :func:`~repro.bisim.traveler.traveler_events`.
+
+    Pass a shared ``_memo`` ((vid, depth) → digest) to amortize across
+    the vertices of one document's graph.
+    """
+    if depth_limit <= 0:
+        return vertex_signature(vertex)
+    memo: dict[tuple[int, int], bytes] = {} if _memo is None else _memo
+    stack: list[tuple[BisimVertex, int, bool]] = [(vertex, depth_limit, False)]
+    while stack:
+        node, depth, ready = stack.pop()
+        state = (node.vid, depth)
+        if state in memo:
+            continue
+        if ready:
+            digest = blake2b(digest_size=SIGNATURE_BYTES)
+            digest.update(node.label.encode("utf-8"))
+            digest.update(b"\x00")
+            if depth > 1:
+                child_sigs = {memo[(c.vid, depth - 1)] for c in node.children}
+                for child_sig in sorted(child_sigs):
+                    digest.update(child_sig)
+            memo[state] = digest.digest()
+            continue
+        stack.append((node, depth, True))
+        if depth > 1:
+            for child in node.children:
+                if (child.vid, depth - 1) not in memo:
+                    stack.append((child, depth - 1, False))
+    return memo[(vertex.vid, depth_limit)]

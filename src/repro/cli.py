@@ -67,6 +67,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--beta", type=int, default=None, metavar="B",
         help="enable the value extension with B hash buckets",
     )
+    build.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="build worker processes (N>1 fans documents out across N "
+        "processes; results are byte-identical to the serial build)",
+    )
+    build.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cross-document spectral feature cache",
+    )
 
     query = commands.add_parser("query", help="query a saved index")
     query.add_argument("index_dir", metavar="DIR")
@@ -129,6 +138,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
         depth_limit=depth_limit,
         clustered=args.clustered,
         value_buckets=args.beta,
+        workers=args.workers,
+        feature_cache=not args.no_cache,
     )
     started = time.perf_counter()
     index = FixIndex.build(store, config)
@@ -138,6 +149,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(
         f"built {index!r} in {seconds:.2f}s -> {args.out} "
         f"({index.size_bytes() / 1e6:.2f} MB B-tree)"
+    )
+    stats = index.report.stats
+    phases = " ".join(
+        f"{phase}={seconds:.2f}s"
+        for phase, seconds in index.report.timings.as_dict().items()
+    )
+    print(f"  phases: {phases}")
+    print(
+        f"  eigen: {stats.eigen_computations} solved, "
+        f"{stats.cache_hits} cache hits, "
+        f"{stats.oversized_patterns} oversized"
     )
     return 0
 

@@ -13,26 +13,36 @@ node id)`` entries, in the two regimes CONSTRUCT-INDEX distinguishes:
   per vertex so the eigen-decomposition runs once per equivalence class
   (Theorem 4 still guarantees exactly one *entry* per element).
 
+A generator may additionally carry a cross-document
+:class:`~repro.spectral.cache.FeatureCache`: before solving the
+eigenproblem for a pattern, its canonical signature is looked up, so
+isomorphic subpatterns recurring *across* documents pay the O(n³)
+decomposition once per distinct pattern rather than once per document.
+
 Patterns whose unfolding or matrix exceeds the configured caps fall back
 to the all-covering feature range (Section 6.1's artificial ``[0, ∞]``),
-counted in the returned statistics.
+counted in the returned statistics and never cached.
 """
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
 from repro.errors import PatternTooLargeError
-from repro.bisim import BisimGraphBuilder, depth_limited_graph
+from repro.bisim import BisimGraphBuilder, depth_limited_graph, depth_signature
 from repro.bisim.graph import BisimVertex
 from repro.spectral import (
     ALL_COVERING_RANGE,
     EdgeLabelEncoder,
+    FeatureCache,
     FeatureKey,
     pattern_features,
+    pattern_signature,
 )
 from repro.xmltree import Document, tree_events
+from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent
 
 
 @dataclass
@@ -48,7 +58,106 @@ class ConstructionStats:
     oversized_patterns: int = 0
     #: vertex count of the largest pattern actually decomposed.
     largest_pattern: int = 0
+    #: feature-cache hits/misses (0/0 when no cache is attached).
+    cache_hits: int = 0
+    cache_misses: int = 0
     per_document_vertices: list[int] = field(default_factory=list)
+
+    def merge(self, other: "ConstructionStats") -> None:
+        """Fold another build's (or worker's) statistics into this one.
+
+        ``per_document_vertices`` is extended in ``other``'s order, so
+        merging worker stats in chunk order reproduces the serial
+        document order.
+        """
+        self.entries += other.entries
+        self.documents += other.documents
+        self.unit_documents += other.unit_documents
+        self.subpattern_documents += other.subpattern_documents
+        self.bisim_vertices += other.bisim_vertices
+        self.eigen_computations += other.eigen_computations
+        self.oversized_patterns += other.oversized_patterns
+        self.largest_pattern = max(self.largest_pattern, other.largest_pattern)
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.per_document_vertices.extend(other.per_document_vertices)
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock breakdown of one build (seconds per phase).
+
+    Phases:
+        parse:  fetching/parsing documents out of primary storage.
+        encode: the deterministic encoder-seeding pre-pass (§7).
+        bisim:  bisimulation-graph construction (event feeding and
+                interning), measured as the entry-generation residual.
+        unfold: BISIM-TRAVELER depth-limited unfolding + re-minimization.
+        eigen:  matrix construction + ``eigvalsh`` (cache misses only).
+        insert: B-tree loading (and clustered copy-out, when applicable).
+    """
+
+    parse: float = 0.0
+    encode: float = 0.0
+    bisim: float = 0.0
+    unfold: float = 0.0
+    eigen: float = 0.0
+    insert: float = 0.0
+
+    def merge(self, other: "PhaseTimings") -> None:
+        """Accumulate another build's (or worker's) phase times.
+
+        Worker times overlap in wall-clock terms; the merged figure is
+        aggregate CPU-seconds per phase, which is the comparable
+        quantity across serial and parallel builds.
+        """
+        self.parse += other.parse
+        self.encode += other.encode
+        self.bisim += other.bisim
+        self.unfold += other.unfold
+        self.eigen += other.eigen
+        self.insert += other.insert
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase → seconds mapping (for reports and persistence)."""
+        return {
+            "parse": self.parse,
+            "encode": self.encode,
+            "bisim": self.bisim,
+            "unfold": self.unfold,
+            "eigen": self.eigen,
+            "insert": self.insert,
+        }
+
+
+def seed_encoder(
+    encoder: EdgeLabelEncoder,
+    document: Document,
+    text_label: Callable[[str], str] | None = None,
+) -> None:
+    """Register every edge-label pair of ``document`` with ``encoder``.
+
+    This is the deterministic pre-pass of the build pipeline: walking
+    documents in ``doc_id`` order and events in document order fixes the
+    code assignment *before* any feature is computed, so every worker
+    (and the serial path) extracts features under an identical, complete
+    encoder.  Completeness holds because every edge of every pattern the
+    build can produce — full bisimulation graphs in unit mode, depth
+    -limited re-minimized unfoldings in subpattern mode — descends from
+    a (parent label, child label) tree edge walked here (text nodes
+    included when the value extension is active).
+    """
+    stack: list[str] = []
+    for event in tree_events(document.root, include_text=text_label is not None):
+        if isinstance(event, OpenEvent):
+            if stack:
+                encoder.encode(stack[-1], event.label)
+            stack.append(event.label)
+        elif isinstance(event, TextEvent):
+            if text_label is not None and stack:
+                encoder.encode(stack[-1], text_label(event.value))
+        elif isinstance(event, CloseEvent):
+            stack.pop()
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,13 +178,18 @@ class EntryGenerator:
         text_label: Callable[[str], str] | None = None,
         max_pattern_vertices: int = 800,
         max_unfolding_opens: int = 20000,
+        cache: FeatureCache | None = None,
     ) -> None:
         self.encoder = encoder
         self.depth_limit = depth_limit
         self.text_label = text_label
         self.max_pattern_vertices = max_pattern_vertices
         self.max_unfolding_opens = max_unfolding_opens
+        self.cache = cache
         self.stats = ConstructionStats()
+        self.timings = PhaseTimings()
+        #: per-document (vid, depth) → signature memo for the cache path.
+        self._sig_memo: dict[tuple[int, int], bytes] = {}
 
     # ------------------------------------------------------------------ #
     # Entry streams
@@ -117,6 +231,9 @@ class EntryGenerator:
         return Entry(key, document.root.node_id)
 
     def _subpattern_entries(self, document: Document) -> Iterator[Entry]:
+        # Builder vids restart per document, so the signature memo must
+        # not leak across documents.
+        self._sig_memo = {}
         builder = BisimGraphBuilder(text_label=self.text_label)
         for event in tree_events(
             document.root, include_text=self.text_label is not None
@@ -135,35 +252,77 @@ class EntryGenerator:
         self.stats.per_document_vertices.append(graph.vertex_count())
 
     # ------------------------------------------------------------------ #
-    # Feature extraction with memoization and fallback
+    # Feature extraction with memoization, caching, and fallback
     # ------------------------------------------------------------------ #
 
     def _vertex_features(self, vertex: BisimVertex) -> FeatureKey:
         """GEN-SUBPATTERN + BTREE-INSERT's feature half: memoized per
-        bisimulation vertex (Algorithm 1's ``u.eigs`` check)."""
+        bisimulation vertex (Algorithm 1's ``u.eigs`` check).
+
+        With a cache attached, the pattern's signature is computed
+        *directly on the vertex* (:func:`~repro.bisim.dag
+        .depth_signature`), so a hit skips not just ``eigvalsh`` but the
+        whole BISIM-TRAVELER unfolding — the unfolding of a shared
+        subpattern can be exponentially larger than its DAG."""
         if vertex.eigs is not None:
             return vertex.eigs
+        signature = None
+        if self.cache is not None:
+            signature = depth_signature(vertex, self.depth_limit, self._sig_memo)
+            cached = self.cache.lookup(signature)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                vertex.eigs = cached
+                return cached
+            self.stats.cache_misses += 1
+        started = time.perf_counter()
         try:
             pattern = depth_limited_graph(
                 vertex, self.depth_limit, max_opens=self.max_unfolding_opens
             )
-            key = self._features_of_graph(pattern)
         except PatternTooLargeError:
+            self.timings.unfold += time.perf_counter() - started
             self.stats.oversized_patterns += 1
             key = FeatureKey(vertex.label, ALL_COVERING_RANGE)
+            vertex.eigs = key
+            return key
+        self.timings.unfold += time.perf_counter() - started
+        key = self._features_of_graph(pattern, signature=signature)
         vertex.eigs = key
         return key
 
-    def _features_of_graph(self, graph) -> FeatureKey:
+    def _features_of_graph(
+        self, graph, signature: bytes | None = None
+    ) -> FeatureKey:
+        """Features of a pattern graph, consulting the cache.
+
+        ``signature`` carries a precomputed cache signature whose lookup
+        already missed (the ``_vertex_features`` path); when ``None`` and
+        a cache is attached, the signature is derived from the graph
+        itself (the unit-mode path) and looked up here.
+        """
         size = graph.vertex_count()
+        if self.cache is not None and signature is None:
+            signature = pattern_signature(graph)
+            cached = self.cache.lookup(signature)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        started = time.perf_counter()
         try:
             key = pattern_features(
                 graph, self.encoder, max_vertices=self.max_pattern_vertices
             )
-            self.stats.eigen_computations += 1
-            if size > self.stats.largest_pattern:
-                self.stats.largest_pattern = size
-            return key
         except PatternTooLargeError:
+            self.timings.eigen += time.perf_counter() - started
             self.stats.oversized_patterns += 1
+            # Cap artifact, not a pattern feature: never cached.
             return FeatureKey(graph.root.label, ALL_COVERING_RANGE)
+        self.timings.eigen += time.perf_counter() - started
+        self.stats.eigen_computations += 1
+        if size > self.stats.largest_pattern:
+            self.stats.largest_pattern = size
+        if self.cache is not None and signature is not None:
+            self.cache.store(signature, key)
+        return key

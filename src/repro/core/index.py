@@ -26,7 +26,12 @@ from collections.abc import Iterator
 
 from repro.btree import BPlusTree, encode_feature_key, label_upper_bound
 from repro.btree.keys import decode_feature_key
-from repro.core.construction import ConstructionStats, EntryGenerator
+from repro.core.construction import (
+    ConstructionStats,
+    EntryGenerator,
+    PhaseTimings,
+    seed_encoder,
+)
 from repro.core.values import ValueHasher
 from repro.errors import IndexCoverageError, UnsupportedQueryError
 from repro.query.ast import Axis
@@ -34,6 +39,7 @@ from repro.query.twig import TwigQuery
 from repro.spectral import (
     DEFAULT_GUARD_BAND,
     EdgeLabelEncoder,
+    FeatureCache,
     FeatureKey,
     FeatureRange,
     pattern_features,
@@ -65,6 +71,13 @@ class FixIndexConfig:
             ~3000-edge fallback).
         max_unfolding_opens: cap on a depth-limited unfolding's size.
         guard_band: numerical slack for the containment predicate.
+        workers: processes for the build's document fan-out.  ``1``
+            builds in-process; ``k > 1`` stages documents across ``k``
+            workers with a byte-identical-to-serial guarantee
+            (DESIGN.md §7).
+        feature_cache: consult the cross-document spectral feature
+            cache during construction (on by default; disable to
+            measure the uncached baseline).
     """
 
     depth_limit: int = 0
@@ -73,6 +86,8 @@ class FixIndexConfig:
     max_pattern_vertices: int = 800
     max_unfolding_opens: int = 20000
     guard_band: float = DEFAULT_GUARD_BAND
+    workers: int = 1
+    feature_cache: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +105,9 @@ class BuildReport:
 
     seconds: float = 0.0
     stats: ConstructionStats = field(default_factory=ConstructionStats)
+    #: per-phase wall-clock breakdown (aggregate CPU-seconds per phase
+    #: for parallel builds, where worker time overlaps).
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
     btree_bytes: int = 0
     clustered_bytes: int = 0
 
@@ -112,14 +130,18 @@ class FixIndex:
             else None
         )
         self.clustered_store = ClusteredStore() if self.config.clustered else None
+        self.feature_cache = FeatureCache() if self.config.feature_cache else None
         self._generator = EntryGenerator(
             self.encoder,
             self.config.depth_limit,
             text_label=self.value_hasher,
             max_pattern_vertices=self.config.max_pattern_vertices,
             max_unfolding_opens=self.config.max_unfolding_opens,
+            cache=self.feature_cache,
         )
-        self.report = BuildReport(stats=self._generator.stats)
+        self.report = BuildReport(
+            stats=self._generator.stats, timings=self._generator.timings
+        )
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithm 1)
@@ -131,41 +153,115 @@ class FixIndex:
         store: PrimaryXMLStore,
         config: FixIndexConfig | None = None,
     ) -> "FixIndex":
-        """CONSTRUCT-INDEX over every document in ``store``."""
+        """CONSTRUCT-INDEX over every document in ``store``.
+
+        The pipeline is stage → sort → load: entry generation stages
+        ``(encoded key, doc_id, node_id)`` triples (in-process, or
+        fanned out across ``config.workers`` processes), then the B-tree
+        is bulk-loaded from the key-sorted entries.  The staged order —
+        and therefore the built tree's exact contents, duplicate order
+        included — is independent of the worker count (DESIGN.md §7).
+        """
         index = cls(store, config)
         started = time.perf_counter()
+        staged = index._stage_entries()
+        insert_started = time.perf_counter()
         if index.config.clustered:
-            index._build_clustered()
+            index._load_clustered(staged)
         else:
-            index._build_unclustered()
+            index._load_unclustered(staged)
+        index.report.timings.insert += time.perf_counter() - insert_started
         index.report.seconds = time.perf_counter() - started
         index.report.btree_bytes = index.btree.size_bytes()
         if index.clustered_store is not None:
             index.report.clustered_bytes = index.clustered_store.size_bytes()
         return index
 
-    def _build_unclustered(self) -> None:
+    def _stage_entries(self) -> list[tuple[bytes, int, int]]:
+        """Generate ``(encoded key, doc_id, node_id)`` for every entry,
+        in document order (generation order within a document)."""
+        timings = self._generator.timings
+        doc_ids = []
+        # Deterministic encoder pre-pass: register every edge-label pair
+        # in doc_id/document order before any feature is computed, so
+        # code assignment (hence every eigenvalue) is independent of the
+        # staging strategy.  See DESIGN.md §7.
         for doc_id in self.store.doc_ids():
+            doc_ids.append(doc_id)
+            started = time.perf_counter()
             document = self.store.get_document(doc_id)
-            for entry in self._generator.entries_for(document):
-                key = self._encode_key(entry.key)
-                value = NodePointer(doc_id, entry.node_id).pack()
-                self.btree.insert(key, value)
+            timings.parse += time.perf_counter() - started
+            started = time.perf_counter()
+            seed_encoder(self.encoder, document, text_label=self.value_hasher)
+            timings.encode += time.perf_counter() - started
 
-    def _build_clustered(self) -> None:
-        # Clustering requires the copies laid out in key order, so gather
-        # all entries first, sort, then copy + insert sequentially.
-        assert self.clustered_store is not None
+        if self.config.workers > 1 and len(doc_ids) > 1:
+            from repro.core.parallel import parallel_stage
+
+            staged = parallel_stage(
+                self.store,
+                self.encoder,
+                self.config.depth_limit,
+                self.config.workers,
+                value_buckets=self.config.value_buckets,
+                max_pattern_vertices=self.config.max_pattern_vertices,
+                max_unfolding_opens=self.config.max_unfolding_opens,
+                feature_cache=self.config.feature_cache,
+                doc_ids=doc_ids,
+            )
+            self._generator.stats.merge(staged.stats)
+            self._generator.timings.merge(staged.timings)
+            return staged.entries
+
         staged: list[tuple[bytes, int, int]] = []
-        for doc_id in self.store.doc_ids():
+        unfold_before = timings.unfold
+        eigen_before = timings.eigen
+        generate_seconds = 0.0
+        for doc_id in doc_ids:
+            started = time.perf_counter()
             document = self.store.get_document(doc_id)
+            timings.parse += time.perf_counter() - started
+            started = time.perf_counter()
             for entry in self._generator.entries_for(document):
                 staged.append((self._encode_key(entry.key), doc_id, entry.node_id))
-        staged.sort(key=lambda item: item[0])
+            generate_seconds += time.perf_counter() - started
+        timings.bisim += max(
+            0.0,
+            generate_seconds
+            - (timings.unfold - unfold_before)
+            - (timings.eigen - eigen_before),
+        )
+        return staged
+
+    def _load_unclustered(self, staged: list[tuple[bytes, int, int]]) -> None:
+        # Stable sort: duplicates keep their staging (document) order,
+        # matching what a per-entry insert loop would have produced —
+        # but loaded bottom-up like the clustered path, which packs
+        # pages tighter and skips per-entry root-to-leaf descents.
+        pairs = [
+            (key, NodePointer(doc_id, node_id).pack())
+            for key, doc_id, node_id in staged
+        ]
+        pairs.sort(key=lambda pair: pair[0])
+        self.btree = BPlusTree.bulk_load(pairs)
+
+    def _load_clustered(self, staged: list[tuple[bytes, int, int]]) -> None:
+        # Clustering requires the copies laid out in key order: sort the
+        # staged entries, then copy + load sequentially.
+        assert self.clustered_store is not None
+        staged = sorted(staged, key=lambda item: item[0])
+        # Fetch each document once up front — the copy loop visits
+        # documents in key order, which interleaves them arbitrarily, so
+        # going through the store's bounded LRU per entry can re-parse
+        # the same document O(entries) times on large collections.
+        documents = {
+            doc_id: self.store.get_document(doc_id)
+            for doc_id in sorted({doc_id for _, doc_id, _ in staged})
+        }
         copy_depth = self.config.depth_limit
         pairs: list[tuple[bytes, bytes]] = []
         for key, doc_id, node_id in staged:
-            element = self.store.get_document(doc_id).element_at(node_id)
+            element = documents[doc_id].element_at(node_id)
             record = self.clustered_store.add_unit(element, depth_limit=copy_depth)
             pairs.append((key, record.pack() + NodePointer(doc_id, node_id).pack()))
         # The entries are already key-sorted (that is the clustering
@@ -234,6 +330,7 @@ class FixIndex:
             text_label=self.value_hasher,
             max_pattern_vertices=self.config.max_pattern_vertices,
             max_unfolding_opens=self.config.max_unfolding_opens,
+            cache=self.feature_cache,
         )
         removed = 0
         for entry in shadow.entries_for(document):
@@ -242,6 +339,7 @@ class FixIndex:
             if self.btree.delete(key, value):
                 removed += 1
         self.store.remove_document(doc_id)
+        self.report.btree_bytes = self.btree.size_bytes()
         return removed
 
     # ------------------------------------------------------------------ #

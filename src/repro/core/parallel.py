@@ -1,0 +1,186 @@
+"""Parallel document fan-out for index construction (DESIGN.md §7).
+
+``FixIndex.build`` stages one ``(encoded key, doc_id, node_id)`` triple
+per index entry before loading the B-tree; this module produces the same
+staged list using a pool of ``multiprocessing`` workers, one chunk of
+documents per worker, with a **byte-identical guarantee**: the staged
+list — and therefore the bulk-loaded B-tree's exact ``items()`` sequence
+— is the same as the serial build's, for any worker count.
+
+The guarantee rests on three invariants:
+
+1. **Encoder pre-seeding.**  The coordinator registers every edge-label
+   pair of every document with the shared encoder *before* fan-out
+   (:func:`~repro.core.construction.seed_encoder`, walked in ``doc_id``
+   /document order).  Each worker receives a snapshot of this complete
+   encoder, so every feature is computed under identical edge weights
+   regardless of which worker sees which document first.  On collection
+   the worker encoders are merged back and any drift — a pair a worker
+   assigned that the coordinator didn't know, or a conflicting code —
+   fails loudly (:meth:`EdgeLabelEncoder.merge`).
+2. **Deterministic generation.**  Entry generation itself is
+   deterministic per document (vid-ordered traversals throughout), so a
+   document's entry list does not depend on the worker that produced it.
+   Worker-local feature caches change *when* an eigenproblem is solved,
+   never its result.
+3. **Order-preserving collection.**  Documents are partitioned into
+   contiguous chunks in ``doc_id`` order and results are concatenated in
+   chunk order, reproducing the serial staging order exactly (the
+   B-tree's duplicate-key order is the staging order, because the
+   loader's sort is stable).
+
+Workers ship documents as serialized XML (re-parsed in the worker) so the
+fan-out does not depend on tree objects being picklable; the re-parse is
+charged to the worker's ``parse`` phase.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.btree import encode_feature_key
+from repro.core.construction import (
+    ConstructionStats,
+    EntryGenerator,
+    PhaseTimings,
+)
+from repro.core.values import ValueHasher
+from repro.spectral import EdgeLabelEncoder, FeatureCache
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+#: One staged index entry: (encoded B-tree key, doc_id, node_id).
+StagedEntry = tuple[bytes, int, int]
+
+
+@dataclass
+class StagedBuild:
+    """Everything a staging pass (serial or parallel) produces."""
+
+    entries: list[StagedEntry] = field(default_factory=list)
+    stats: ConstructionStats = field(default_factory=ConstructionStats)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    #: a worker's final encoder state, returned for the drift check.
+    encoder_state: dict[str, int] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class _WorkerTask:
+    """Pickled per-worker payload."""
+
+    encoder: dict[str, int]
+    depth_limit: int
+    value_buckets: int | None
+    max_pattern_vertices: int
+    max_unfolding_opens: int
+    feature_cache: bool
+    #: (doc_id, serialized XML) in doc_id order.
+    documents: tuple[tuple[int, str], ...]
+
+
+def _stage_worker(task: _WorkerTask) -> StagedBuild:
+    """Stage one chunk of documents (runs in a worker process)."""
+    encoder = EdgeLabelEncoder.from_dict(task.encoder)
+    hasher = (
+        ValueHasher(task.value_buckets) if task.value_buckets is not None else None
+    )
+    generator = EntryGenerator(
+        encoder,
+        task.depth_limit,
+        text_label=hasher,
+        max_pattern_vertices=task.max_pattern_vertices,
+        max_unfolding_opens=task.max_unfolding_opens,
+        cache=FeatureCache() if task.feature_cache else None,
+    )
+    entries: list[StagedEntry] = []
+    generate_seconds = 0.0
+    for doc_id, source in task.documents:
+        started = time.perf_counter()
+        document = parse_xml(source, doc_id=doc_id)
+        generator.timings.parse += time.perf_counter() - started
+        started = time.perf_counter()
+        for entry in generator.entries_for(document):
+            entries.append(
+                (
+                    encode_feature_key(
+                        entry.key.root_label,
+                        entry.key.range.lmax,
+                        entry.key.range.lmin,
+                    ),
+                    doc_id,
+                    entry.node_id,
+                )
+            )
+        generate_seconds += time.perf_counter() - started
+    generator.timings.bisim += max(
+        0.0, generate_seconds - generator.timings.unfold - generator.timings.eigen
+    )
+    # Returning the worker's encoder lets the coordinator verify the
+    # no-drift invariant; a complete pre-seed makes this a no-op merge.
+    return StagedBuild(
+        entries, generator.stats, generator.timings, generator.encoder.to_dict()
+    )
+
+
+def parallel_stage(
+    store: PrimaryXMLStore,
+    encoder: EdgeLabelEncoder,
+    depth_limit: int,
+    workers: int,
+    value_buckets: int | None = None,
+    max_pattern_vertices: int = 800,
+    max_unfolding_opens: int = 20000,
+    feature_cache: bool = True,
+    doc_ids: list[int] | None = None,
+) -> StagedBuild:
+    """Stage every document of ``store`` across ``workers`` processes.
+
+    ``encoder`` must already be fully seeded over the documents (the
+    coordinator's pre-pass); workers receive snapshots of it and their
+    end states are merged back, so conflicting assignments raise
+    :class:`~repro.errors.FeatureError` instead of corrupting keys.
+
+    Returns a :class:`StagedBuild` whose entry list is identical to the
+    serial staging order (doc_id order, generation order within a doc).
+    """
+    ids = list(store.doc_ids()) if doc_ids is None else list(doc_ids)
+    workers = max(1, min(workers, len(ids)))
+    chunk_size = (len(ids) + workers - 1) // workers
+    chunks = [ids[i : i + chunk_size] for i in range(0, len(ids), chunk_size)]
+    tasks = []
+    serialize_started = time.perf_counter()
+    for chunk in chunks:
+        documents = tuple(
+            (doc_id, store.get_source(doc_id)) for doc_id in chunk
+        )
+        tasks.append(
+            _WorkerTask(
+                encoder=encoder.to_dict(),
+                depth_limit=depth_limit,
+                value_buckets=value_buckets,
+                max_pattern_vertices=max_pattern_vertices,
+                max_unfolding_opens=max_unfolding_opens,
+                feature_cache=feature_cache,
+                documents=documents,
+            )
+        )
+    serialize_seconds = time.perf_counter() - serialize_started
+
+    if len(tasks) == 1:
+        results = [_stage_worker(tasks[0])]
+    else:
+        context = multiprocessing.get_context()
+        with context.Pool(processes=len(tasks)) as pool:
+            results = pool.map(_stage_worker, tasks)
+
+    merged = StagedBuild()
+    merged.timings.parse += serialize_seconds
+    for result in results:
+        merged.entries.extend(result.entries)
+        merged.stats.merge(result.stats)
+        merged.timings.merge(result.timings)
+        if result.encoder_state is not None:
+            encoder.merge(EdgeLabelEncoder.from_dict(result.encoder_state))
+    return merged

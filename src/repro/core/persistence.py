@@ -51,6 +51,8 @@ def save_index(index: FixIndex, directory: str) -> None:
             "max_pattern_vertices": index.config.max_pattern_vertices,
             "max_unfolding_opens": index.config.max_unfolding_opens,
             "guard_band": index.config.guard_band,
+            "workers": index.config.workers,
+            "feature_cache": index.config.feature_cache,
         },
         "encoder": index.encoder.to_dict(),
         "btree": {
@@ -63,6 +65,9 @@ def save_index(index: FixIndex, directory: str) -> None:
             "seconds": index.report.seconds,
             "entries": index.report.stats.entries,
             "oversized_patterns": index.report.stats.oversized_patterns,
+            "cache_hits": index.report.stats.cache_hits,
+            "cache_misses": index.report.stats.cache_misses,
+            "phases": index.report.timings.as_dict(),
         },
     }
     with open(os.path.join(directory, _META_FILE), "w", encoding="utf-8") as handle:
@@ -117,8 +122,14 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
         index.clustered_store = ClusteredStore(
             Pager(clustered_path), preloaded_units=meta["clustered_units"]
         )
-    index.report.seconds = meta["report"]["seconds"]
-    index.report.stats.entries = meta["report"]["entries"]
-    index.report.stats.oversized_patterns = meta["report"]["oversized_patterns"]
+    report = meta["report"]
+    index.report.seconds = report["seconds"]
+    index.report.stats.entries = report["entries"]
+    index.report.stats.oversized_patterns = report["oversized_patterns"]
+    # Additive report fields (absent in indexes saved by older builds).
+    index.report.stats.cache_hits = report.get("cache_hits", 0)
+    index.report.stats.cache_misses = report.get("cache_misses", 0)
+    for phase, seconds in report.get("phases", {}).items():
+        setattr(index.report.timings, phase, seconds)
     index.report.btree_bytes = index.btree.size_bytes()
     return index

@@ -16,6 +16,8 @@ can never match anything) still encode deterministically.
 
 from __future__ import annotations
 
+from repro.errors import FeatureError
+
 
 class EdgeLabelEncoder:
     """Assign stable integer weights to ``(parent_label, child_label)`` pairs.
@@ -44,6 +46,48 @@ class EdgeLabelEncoder:
         with an empty result immediately.
         """
         return self._codes.get((parent_label, child_label))
+
+    def snapshot(self) -> "EdgeLabelEncoder":
+        """An independent copy (for parallel workers)."""
+        clone = EdgeLabelEncoder()
+        clone._codes = dict(self._codes)
+        return clone
+
+    def merge(self, other: "EdgeLabelEncoder") -> int:
+        """Adopt ``other``'s assignments; returns how many were new.
+
+        This is the deterministic merge half of the parallel-build
+        protocol (DESIGN.md §7): workers start from a snapshot of the
+        fully pre-seeded coordinator encoder, so on collection every
+        worker pair must either already exist here with the *same* code,
+        or be a prefix-compatible extension (fresh pairs whose codes
+        continue this encoder's dense sequence, taken in ``other``'s
+        code order).  Anything else means two encoders assigned
+        conflicting weights — features computed under them are not
+        comparable — so the merge fails loudly instead of producing an
+        index with silently inconsistent keys.
+
+        Raises:
+            FeatureError: on any conflicting code assignment.
+        """
+        adopted = 0
+        for pair, code in sorted(other._codes.items(), key=lambda kv: kv[1]):
+            existing = self._codes.get(pair)
+            if existing is None:
+                expected = len(self._codes) + 1
+                if code != expected:
+                    raise FeatureError(
+                        f"encoder merge conflict: edge {pair!r} carries code "
+                        f"{code} but the merged encoder would assign {expected}"
+                    )
+                self._codes[pair] = code
+                adopted += 1
+            elif existing != code:
+                raise FeatureError(
+                    f"encoder merge conflict: edge {pair!r} has code {existing} "
+                    f"here but {code} in the merged encoder"
+                )
+        return adopted
 
     def __len__(self) -> int:
         return len(self._codes)

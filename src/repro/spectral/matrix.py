@@ -1,10 +1,19 @@
 """Anti-symmetric matrix representation of a twig pattern (Section 3.2).
 
-Each reachable vertex of the bisimulation graph gets a matrix dimension
-(the assignment is arbitrary up to permutation, which leaves eigenvalues
-invariant; we use discovery order for determinism).  An edge ``(u, v)``
-with encoded weight ``w`` sets ``M[i, j] = w`` and ``M[j, i] = -w``; all
-diagonal entries are 0 because the graph is acyclic.
+Each reachable vertex of the bisimulation graph gets a matrix dimension.
+The assignment is arbitrary up to permutation — eigenvalues are
+permutation-invariant in exact arithmetic — but *floating-point*
+``eigvalsh`` results can differ in the last ulp between permutations of
+the same matrix.  The cross-document feature cache and the parallel
+build both promise byte-identical keys for isomorphic patterns however
+and wherever they are encountered, so the dimension order must be a
+**canonical** function of the labeled structure: vertices are sorted by
+their structural :func:`~repro.bisim.dag.vertex_signature` (vid as a
+tie-break, reachable only in non-minimal graphs such as query twigs,
+where bit-exactness is not required — containment checks carry a guard
+band).  An edge ``(u, v)`` with encoded weight ``w`` sets ``M[i, j] = w``
+and ``M[j, i] = -w``; all diagonal entries are 0 because the graph is
+acyclic.
 """
 
 from __future__ import annotations
@@ -12,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import PatternTooLargeError
-from repro.bisim.dag import reachable_vertices
+from repro.bisim.dag import reachable_vertices, vertex_signature
 from repro.bisim.graph import BisimGraph
 from repro.spectral.encoding import EdgeLabelEncoder
 
@@ -43,6 +52,8 @@ def pattern_matrix(
             f"pattern has {n} vertices, above the cap of {max_vertices}",
             size=n,
         )
+    signatures: dict[int, bytes] = {}
+    vertices.sort(key=lambda vertex: (vertex_signature(vertex, signatures), vertex.vid))
     index_of = {vertex.vid: i for i, vertex in enumerate(vertices)}
     matrix = np.zeros((n, n), dtype=np.float64)
     for parent in vertices:

@@ -123,6 +123,24 @@ class PrimaryXMLStore:
         self._directory[doc_id] = None
         self._cache.pop(doc_id, None)
 
+    def get_source(self, doc_id: int) -> str:
+        """Raw serialized XML of a stored document, without parsing.
+
+        This is what the parallel build ships to worker processes: the
+        stored record bytes are already the serialized form, so handing
+        them out costs one record read instead of a serialize pass over
+        the parsed tree.
+
+        Raises:
+            RecordError: for unknown or removed ids.
+        """
+        if not 0 <= doc_id < len(self._directory):
+            raise RecordError(f"no document with id {doc_id}")
+        pointer = self._directory[doc_id]
+        if pointer is None:
+            raise RecordError(f"document {doc_id} was removed")
+        return self._records.read(pointer).decode("utf-8")
+
     def get_document(self, doc_id: int) -> Document:
         """Fetch (and parse, if not cached) a stored document."""
         cached = self._cache.get(doc_id)

@@ -51,6 +51,12 @@ class TestTable1Runner:
             assert row.elements > 0
             assert row.construction_seconds > 0
             assert row.clustered_bytes > row.unclustered_bytes > 0
+            # Phase breakdown rides along with the headline ICT number.
+            assert set(row.phase_seconds) == {
+                "parse", "encode", "bisim", "unfold", "eigen", "insert"
+            }
+            assert row.phase_seconds["eigen"] > 0
+            assert 0.0 <= row.eigen_share <= 1.0
 
 
 class TestTable2Runner:

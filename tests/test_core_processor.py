@@ -274,13 +274,21 @@ class TestTheorem5GapInTheWild:
     minimal XMark-like recursive structure, as found by the Figure 5
     random-query harness.  This pins the *measured* behaviour of the
     algorithm as published: the metrics layer detects and counts the
-    lost answer instead of silently reporting perfect completeness."""
+    lost answer instead of silently reporting perfect completeness.
+
+    Whether a particular instance sits on the lossy side of the gap is
+    knife-edge-sensitive to the integer edge-weight codes, which the
+    encoder assigns first-seen (document order).  The sibling order
+    below — shallow ``listitem`` before the recursive one — makes
+    ``(listitem, text)`` encode below ``(listitem, parlist)``, which
+    puts this instance on the lossy side: the outer ``parlist``'s
+    indexed λ_max is 6.325 against the query's 6.405."""
 
     RECURSIVE_XML = (
         "<site><description>"
         "<parlist>"
-        "<listitem><parlist><listitem><text/></listitem></parlist></listitem>"
         "<listitem><text/></listitem>"
+        "<listitem><parlist><listitem><text/></listitem></parlist></listitem>"
         "</parlist>"
         "</description></site>"
     )

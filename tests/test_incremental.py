@@ -100,6 +100,17 @@ class TestRemoveDocument:
         assert removed == document.element_count()
         assert index.entry_count == before - removed
 
+    def test_report_btree_bytes_refreshed(self):
+        # The report must track the B-tree it describes after removals,
+        # exactly as add_document refreshes it.
+        index = fresh_index(depth_limit=3)
+        before = index.report.btree_bytes
+        assert before == index.btree.size_bytes()
+        removed = index.remove_document(0)
+        assert removed > 0
+        assert index.report.btree_bytes == index.btree.size_bytes()
+        assert index.report.btree_bytes <= before
+
     def test_store_tombstone(self):
         index = fresh_index()
         index.remove_document(2)

@@ -1,0 +1,194 @@
+"""Tests for the parallel build pipeline (DESIGN.md §8).
+
+The contract under test: ``workers > 1`` yields **byte-identical**
+B-tree contents to the serial build — same keys, same values, same
+duplicate-key order — for any worker count and configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FeatureError
+from repro.core import FixIndex, FixIndexConfig
+from repro.core.parallel import parallel_stage
+from repro.core.construction import seed_encoder
+from repro.datasets import load_dataset
+from repro.spectral import EdgeLabelEncoder
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+DOCS = [
+    "<bib><article><author><email/></author><title/></article></bib>",
+    "<bib><article><author><phone/></author><title/></article></bib>",
+    "<bib><book><author><affiliation/></author><title/></book></bib>",
+    "<site><regions><item><name/><mailbox><mail/></mailbox></item>"
+    "<item><name/></item></regions></site>",
+    "<bib><www><title/></www></bib>",
+]
+
+
+def multi_doc_store() -> PrimaryXMLStore:
+    store = PrimaryXMLStore()
+    for source in DOCS:
+        store.add_document(parse_xml(source))
+    return store
+
+
+def items_of(index: FixIndex) -> list[tuple[bytes, bytes]]:
+    """Every (key bytes, value bytes) pair in B-tree order."""
+    return [(bytes(key), bytes(value)) for key, value in index.btree.items()]
+
+
+class TestByteIdenticalToSerial:
+    def test_workers_2_identical_items(self):
+        store = multi_doc_store()
+        serial = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        parallel = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, workers=2)
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    @pytest.mark.parametrize("workers", [2, 3, 5, 8])
+    def test_any_worker_count(self, workers):
+        store = multi_doc_store()
+        serial = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        parallel = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, workers=workers)
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    def test_identical_without_cache(self):
+        store = multi_doc_store()
+        serial = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, feature_cache=False)
+        )
+        parallel = FixIndex.build(
+            store,
+            FixIndexConfig(depth_limit=4, workers=3, feature_cache=False),
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    def test_identical_with_values(self):
+        store = multi_doc_store()
+        config = dict(depth_limit=4, value_buckets=8)
+        serial = FixIndex.build(store, FixIndexConfig(**config))
+        parallel = FixIndex.build(
+            store, FixIndexConfig(workers=2, **config)
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    def test_identical_clustered(self):
+        store = multi_doc_store()
+        serial = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, clustered=True)
+        )
+        parallel = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, clustered=True, workers=2)
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    def test_identical_on_dblp_like_corpus(self):
+        store = PrimaryXMLStore()
+        for offset in range(4):
+            for document in load_dataset(
+                "dblp", scale=0.01, seed=30 + offset
+            ).documents:
+                store.add_document(document)
+        serial = FixIndex.build(store, FixIndexConfig(depth_limit=6))
+        parallel = FixIndex.build(
+            store, FixIndexConfig(depth_limit=6, workers=2)
+        )
+        assert items_of(serial) == items_of(parallel)
+
+    def test_stats_and_entry_counts_match(self):
+        store = multi_doc_store()
+        serial = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        parallel = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, workers=2)
+        )
+        assert serial.entry_count == parallel.entry_count
+        assert (
+            serial.report.stats.entries == parallel.report.stats.entries
+        )
+        assert (
+            serial.report.stats.bisim_vertices
+            == parallel.report.stats.bisim_vertices
+        )
+        assert (
+            serial.report.stats.per_document_vertices
+            == parallel.report.stats.per_document_vertices
+        )
+
+
+class TestParallelStage:
+    def test_single_document_runs_inline(self):
+        store = PrimaryXMLStore()
+        store.add_document(parse_xml(DOCS[0]))
+        encoder = EdgeLabelEncoder()
+        seed_encoder(encoder, store.get_document(0))
+        staged = parallel_stage(store, encoder, 4, workers=4)
+        assert staged.entries
+        assert all(doc_id == 0 for _, doc_id, _ in staged.entries)
+
+    def test_entries_in_doc_id_order(self):
+        store = multi_doc_store()
+        encoder = EdgeLabelEncoder()
+        for doc_id in store.doc_ids():
+            seed_encoder(encoder, store.get_document(doc_id))
+        staged = parallel_stage(store, encoder, 4, workers=2)
+        doc_sequence = [doc_id for _, doc_id, _ in staged.entries]
+        assert doc_sequence == sorted(doc_sequence)
+
+    def test_worker_encoders_merge_back(self):
+        store = multi_doc_store()
+        encoder = EdgeLabelEncoder()
+        for doc_id in store.doc_ids():
+            seed_encoder(encoder, store.get_document(doc_id))
+        size_before = len(encoder)
+        parallel_stage(store, encoder, 4, workers=3)
+        # Complete pre-seeding makes the merge a no-op.
+        assert len(encoder) == size_before
+
+
+class TestEncoderMerge:
+    def test_merge_appends_unknown_pairs_in_code_order(self):
+        ours = EdgeLabelEncoder()
+        ours.encode("a", "b")
+        theirs = EdgeLabelEncoder.from_dict(ours.to_dict())
+        theirs.encode("a", "c")
+        theirs.encode("b", "d")
+        added = ours.merge(theirs)
+        assert added == 2
+        assert ours.to_dict() == theirs.to_dict()
+
+    def test_merge_rejects_conflicting_codes(self):
+        ours = EdgeLabelEncoder()
+        ours.encode("a", "b")  # code 1
+        theirs = EdgeLabelEncoder()
+        theirs.encode("a", "c")  # code 1 for a different pair
+        theirs.encode("a", "b")  # code 2 — conflicts with ours
+        with pytest.raises(FeatureError):
+            ours.merge(theirs)
+
+    def test_merge_rejects_code_gaps(self):
+        ours = EdgeLabelEncoder()
+        theirs = EdgeLabelEncoder()
+        theirs.encode("a", "b")  # code 1
+        theirs.encode("a", "c")  # code 2
+        # Drop the first pair: the second now has an unjoinable code.
+        gapped = {
+            pair: code
+            for pair, code in theirs.to_dict().items()
+            if code != 1
+        }
+        with pytest.raises(FeatureError):
+            ours.merge(EdgeLabelEncoder.from_dict(gapped))
+
+    def test_snapshot_is_independent(self):
+        encoder = EdgeLabelEncoder()
+        encoder.encode("a", "b")
+        snapshot = encoder.snapshot()
+        snapshot.encode("a", "c")
+        assert len(encoder) == 1
+        assert len(snapshot) == 2
