@@ -1,0 +1,323 @@
+"""Query-pipeline benchmark: serial vs grouped vs parallel vs R-tree.
+
+Exercises the two-phase processor (Algorithm 2) the way Figure 6's
+query mix does, under the PR's pipeline overhaul, on two workloads:
+
+* **repeated-query** — a fixed set of selective queries, each run many
+  times against a small, hot index (everything in cache; planning is
+  the dominant per-repetition cost).  The serial baseline
+  (``plan_cache=False, grouped=False``) re-parses, re-decomposes, and
+  re-eigensolves every repetition; the pipelined processor plans once
+  per (query, index generation).  The acceptance bar is a >= 2x
+  total-time speedup.
+
+* **refinement-heavy** — low-selectivity queries over more documents
+  than the primary store's LRU holds, with several candidates per
+  document.  The ungrouped baseline follows candidates in key order,
+  which interleaves documents and re-parses them once per candidate;
+  grouped refinement fetches each document exactly once per query, and
+  ``workers=4`` fans the document groups out on top.  The acceptance
+  bar is a >= 1.5x speedup for the grouped+parallel run.
+
+Every mode — including the R-tree pruning backend — must return the
+exact same pointer-ordered result list for every query; the run fails
+otherwise.
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_query_pipeline.py [--quick]
+
+writes ``BENCH_query.json`` at the repository root with raw timings,
+fetch counts, and speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor, QueryMetricsLog
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+TARGET_PLAN_SPEEDUP = 2.0
+TARGET_REFINE_SPEEDUP = 1.5
+
+# Item variants: different subtree structures, so one document's
+# candidates land under several distinct feature keys and a key-ordered
+# candidate walk interleaves documents (the LRU-thrashing regime).
+ITEM_VARIANTS = [
+    "<item><name/><mailbox><mail><to/></mail></mailbox></item>",
+    "<item><name/><payment/><mailbox><mail><to/></mail></mailbox></item>",
+    "<item><name/><payment/><quantity/></item>",
+    "<item><payment/><quantity/><shipping/></item>",
+    "<item><name/><incategory/><mailbox><mail><to/></mail></mailbox></item>",
+]
+PERSON_VARIANTS = [
+    "<person><name/><emailaddress/><phone/></person>",
+    "<person><name/><emailaddress/></person>",
+    "<person><name/><address><city/></address></person>",
+]
+
+# Low-selectivity queries: candidates in most documents, several per
+# document (the refinement-bound mix of Figure 6).
+REFINE_QUERIES = [
+    "//item[name]/mailbox",
+    "//item[payment]",
+    "//person[name]",
+    "//item/mailbox/mail",
+]
+
+# Selective queries: planning (parse + decompose + eigensolve) is the
+# dominant per-repetition cost once candidates are rare.
+PLAN_QUERIES = [
+    "//item[name][payment]/mailbox/mail",
+    "//person[emailaddress][phone]",
+    "//item[incategory]/mailbox",
+    "//item[payment][quantity][shipping]",
+    "//person/address/city",
+    "//item[name][missing]",
+    "//item[name][payment][quantity]/mailbox/mail/to",
+    "//person[name][emailaddress]/address/city",
+]
+
+
+def build_corpus(documents: int, seed: int) -> PrimaryXMLStore:
+    rng = random.Random(seed)
+    store = PrimaryXMLStore()
+    for _ in range(documents):
+        items = "".join(
+            rng.choice(ITEM_VARIANTS) for _ in range(rng.randint(4, 7))
+        )
+        people = "".join(
+            rng.choice(PERSON_VARIANTS) for _ in range(rng.randint(2, 4))
+        )
+        store.add_document(
+            parse_xml(
+                "<site><regions><asia>"
+                f"{items}"
+                "</asia></regions><people>"
+                f"{people}"
+                "</people></site>"
+            )
+        )
+    return store
+
+
+def timed_run(
+    processor: FixQueryProcessor, queries: list[str], repeats: int
+) -> tuple[float, dict[str, list], int]:
+    """Run every query ``repeats`` times; return (seconds, results
+    keyed by query, documents fetched)."""
+    results: dict[str, list] = {}
+    fetched = 0
+    started = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            outcome = processor.query(query)
+            results[query] = outcome.results
+            fetched += outcome.documents_fetched
+    return time.perf_counter() - started, results, fetched
+
+
+def bench_plan_cache(index: FixIndex, repeats: int) -> dict:
+    """Repeated-query workload: serial replanning vs the plan cache."""
+    runs = []
+    all_results = []
+    for label, kwargs in (
+        ("serial", {"plan_cache": False, "grouped": False}),
+        ("plan-cached", {"plan_cache": True, "grouped": True}),
+    ):
+        log = QueryMetricsLog()
+        processor = FixQueryProcessor(index, metrics_log=log, **kwargs)
+        seconds, results, fetched = timed_run(processor, PLAN_QUERIES, repeats)
+        summary = log.summary()
+        runs.append(
+            {
+                "label": label,
+                "seconds": seconds,
+                "documents_fetched": fetched,
+                "plan_seconds": summary["plan_seconds"],
+                "plan_cache_hit_rate": summary["plan_cache_hit_rate"],
+            }
+        )
+        all_results.append(results)
+        print(
+            f"  {label:12s} {seconds:7.3f}s  "
+            f"(plan {summary['plan_seconds']:.3f}s, "
+            f"cache hit rate {summary['plan_cache_hit_rate']:.0%})"
+        )
+    baseline = runs[0]["seconds"]
+    for run in runs:
+        run["speedup"] = baseline / run["seconds"] if run["seconds"] else 0.0
+    return {
+        "queries": PLAN_QUERIES,
+        "repeats": repeats,
+        "runs": runs,
+        "results_identical": all(r == all_results[0] for r in all_results),
+        "target_speedup": TARGET_PLAN_SPEEDUP,
+        "speedup": runs[1]["speedup"],
+    }
+
+
+def bench_refinement(index: FixIndex, repeats: int, workers: int) -> dict:
+    """Refinement-heavy workload across the four pipeline modes."""
+    modes = (
+        ("serial", {"grouped": False, "plan_cache": False}),
+        ("grouped", {"grouped": True, "plan_cache": False}),
+        ("parallel", {"grouped": True, "plan_cache": False, "workers": workers}),
+        (
+            "rtree",
+            {"grouped": True, "plan_cache": False, "prune_backend": "rtree"},
+        ),
+    )
+    # Build the spatial view outside the timed region: it is a one-off
+    # per index generation, not a per-query cost.
+    index.spatial_view()
+    runs = []
+    all_results = []
+    for label, kwargs in modes:
+        processor = FixQueryProcessor(index, **kwargs)
+        seconds, results, fetched = timed_run(processor, REFINE_QUERIES, repeats)
+        runs.append(
+            {
+                "label": label,
+                "workers": kwargs.get("workers", 1),
+                "backend": kwargs.get("prune_backend", "btree"),
+                "seconds": seconds,
+                "documents_fetched": fetched,
+            }
+        )
+        all_results.append(results)
+        print(
+            f"  {label:12s} {seconds:7.3f}s  "
+            f"({fetched} document fetches)"
+        )
+    baseline = runs[0]["seconds"]
+    for run in runs:
+        run["speedup"] = baseline / run["seconds"] if run["seconds"] else 0.0
+    parallel = next(run for run in runs if run["label"] == "parallel")
+    return {
+        "queries": REFINE_QUERIES,
+        "repeats": repeats,
+        "runs": runs,
+        "results_identical": all(r == all_results[0] for r in all_results),
+        "target_speedup": TARGET_REFINE_SPEEDUP,
+        "speedup": parallel["speedup"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny corpus smoke run (CI); skips the speedup assertions "
+        "and does not write BENCH_query.json unless --out is given",
+    )
+    parser.add_argument(
+        "--documents", type=int, default=None,
+        help="corpus size (default 96 — beyond the primary store's LRU)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per query (plan workload; refinement uses 1/10th)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="refinement fan-out width"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output JSON path (default: BENCH_query.json at the repo "
+        "root; quick runs print only unless --out is set)",
+    )
+    args = parser.parse_args(argv)
+
+    documents = args.documents or (10 if args.quick else 96)
+    hot_documents = min(4, documents)
+    plan_repeats = args.repeats or (5 if args.quick else 100)
+    refine_repeats = max(1, plan_repeats // 10)
+
+    store = build_corpus(documents, args.seed)
+    elements = sum(
+        store.get_document(doc_id).element_count() for doc_id in store.doc_ids()
+    )
+    started = time.perf_counter()
+    index = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+    # The repeated-query workload runs against a small, fully cached
+    # index: with pruning and refinement near-free, per-repetition cost
+    # is the planning work the cache exists to eliminate.
+    hot_store = build_corpus(hot_documents, args.seed)
+    hot_index = FixIndex.build(hot_store, FixIndexConfig(depth_limit=4))
+    print(
+        f"corpus: {documents} documents, {elements} elements; "
+        f"index: {index.entry_count} entries "
+        f"(built in {time.perf_counter() - started:.2f}s); "
+        f"hot corpus: {hot_documents} documents"
+    )
+
+    print(f"repeated-query workload ({plan_repeats} repetitions, hot corpus):")
+    plan_report = bench_plan_cache(hot_index, plan_repeats)
+    print(f"refinement-heavy workload ({refine_repeats} repetitions):")
+    refine_report = bench_refinement(index, refine_repeats, args.workers)
+
+    ok = True
+    for name, report in (
+        ("plan", plan_report), ("refinement", refine_report)
+    ):
+        if not report["results_identical"]:
+            print(f"FAIL: {name} workload modes returned different results")
+            ok = False
+    if ok:
+        print("all modes returned identical result lists")
+    print(
+        f"plan-cache speedup:       {plan_report['speedup']:.2f}x "
+        f"(target {TARGET_PLAN_SPEEDUP:.1f}x)"
+    )
+    print(
+        f"grouped+parallel speedup: {refine_report['speedup']:.2f}x "
+        f"(target {TARGET_REFINE_SPEEDUP:.1f}x)"
+    )
+
+    report = {
+        "corpus": {
+            "documents": documents,
+            "hot_documents": hot_documents,
+            "elements": elements,
+            "seed": args.seed,
+            "depth_limit": 4,
+            "index_entries": index.entry_count,
+        },
+        "workers": args.workers,
+        "plan_cache_workload": plan_report,
+        "refinement_workload": refine_report,
+    }
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(os.path.dirname(__file__), "..", "BENCH_query.json")
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(out)}")
+
+    if not ok:
+        return 1
+    if not args.quick:
+        if plan_report["speedup"] < TARGET_PLAN_SPEEDUP:
+            print(f"FAIL: plan-cache speedup below {TARGET_PLAN_SPEEDUP:.1f}x")
+            return 1
+        if refine_report["speedup"] < TARGET_REFINE_SPEEDUP:
+            print(
+                f"FAIL: refinement speedup below {TARGET_REFINE_SPEEDUP:.1f}x"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,10 @@ from repro.core import (
     FixIndexConfig,
     FixQueryProcessor,
     FixQueryResult,
+    PlanCache,
     PruningMetrics,
+    QueryMetricsLog,
+    QueryPlan,
     ValueHasher,
     evaluate_pruning,
 )
@@ -88,8 +91,11 @@ __all__ = [
     "FixQueryResult",
     "NavigationalEngine",
     "NodePointer",
+    "PlanCache",
     "PrimaryXMLStore",
     "PruningMetrics",
+    "QueryMetricsLog",
+    "QueryPlan",
     "ReproError",
     "StructuralJoinEngine",
     "Text",

@@ -76,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the cross-document spectral feature cache",
     )
+    build.add_argument(
+        "--prune-backend", choices=["btree", "rtree"], default="btree",
+        help="default pruning backend baked into the index config",
+    )
 
     query = commands.add_parser("query", help="query a saved index")
     query.add_argument("index_dir", metavar="DIR")
@@ -86,6 +90,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--limit", type=int, default=20, help="max result pointers to print"
+    )
+    query.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="refinement worker processes (N>1 fans document groups out "
+        "across N processes; results are identical to serial)",
+    )
+    query.add_argument(
+        "--prune-backend", choices=["btree", "rtree"], default=None,
+        help="pruning backend (default: the index config's choice)",
+    )
+    query.add_argument(
+        "--no-plan-cache", action="store_true",
+        help="re-plan (parse/decompose/eigensolve) on every repetition",
+    )
+    query.add_argument(
+        "--repeat", type=int, default=1, metavar="K",
+        help="run the query K times (repetitions after the first hit "
+        "the plan cache); timings are reported per run",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved index")
@@ -140,6 +162,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         value_buckets=args.beta,
         workers=args.workers,
         feature_cache=not args.no_cache,
+        prune_backend=args.prune_backend,
     )
     started = time.perf_counter()
     index = FixIndex.build(store, config)
@@ -170,15 +193,38 @@ def _open(index_dir: str) -> tuple[PrimaryXMLStore, FixIndex]:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.core import QueryMetricsLog
+
     store, index = _open(args.index_dir)
-    processor = FixQueryProcessor(index)
+    log = QueryMetricsLog()
+    processor = FixQueryProcessor(
+        index,
+        workers=args.workers,
+        plan_cache=not args.no_plan_cache,
+        prune_backend=args.prune_backend,
+        metrics_log=log,
+    )
     twig = twig_of(args.expression)
-    result = processor.query(twig)
+    for _ in range(max(1, args.repeat)):
+        result = processor.query(twig)
+    cached = " (plan cached)" if result.plan_cached else ""
     print(
         f"candidates={result.candidate_count} results={result.result_count} "
+        f"plan={result.plan_seconds * 1000:.2f}ms{cached} "
         f"prune={result.prune_seconds * 1000:.2f}ms "
-        f"refine={result.refine_seconds * 1000:.2f}ms"
+        f"refine={result.refine_seconds * 1000:.2f}ms "
+        f"[backend={result.backend} workers={result.workers} "
+        f"docs_fetched={result.documents_fetched}]"
     )
+    if args.repeat > 1:
+        summary = log.summary()
+        print(
+            f"  over {summary['queries']} runs: "
+            f"plan={summary['plan_seconds'] * 1000:.2f}ms "
+            f"prune={summary['prune_seconds'] * 1000:.2f}ms "
+            f"refine={summary['refine_seconds'] * 1000:.2f}ms "
+            f"plan_cache_hit_rate={summary['plan_cache_hit_rate']:.0%}"
+        )
     for pointer in result.results[: args.limit]:
         element = store.resolve(pointer)
         print(f"  doc {pointer.doc_id} node {pointer.node_id} <{element.tag}>")

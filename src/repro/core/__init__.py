@@ -15,9 +15,15 @@
 """
 
 from repro.core.index import FixIndex, FixIndexConfig, IndexEntry
-from repro.core.metrics import PruningMetrics, evaluate_pruning
+from repro.core.metrics import (
+    PruningMetrics,
+    QueryMetricsLog,
+    QueryRecord,
+    evaluate_pruning,
+)
 from repro.core.optimizer import AccessPath, CostModel, ExplainedPlan, QueryOptimizer
 from repro.core.persistence import load_index, save_index
+from repro.core.plan import PlanCache, QueryPlan, build_plan
 from repro.core.processor import FixQueryProcessor, FixQueryResult
 from repro.core.stats import FeatureHistogram
 from repro.core.values import ValueHasher
@@ -36,8 +42,13 @@ __all__ = [
     "IndexEntry",
     "load_index",
     "save_index",
+    "PlanCache",
     "PruningMetrics",
+    "QueryMetricsLog",
+    "QueryPlan",
+    "QueryRecord",
     "ValueHasher",
+    "build_plan",
     "evaluate_pruning",
     "VerificationReport",
     "verify_index",

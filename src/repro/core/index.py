@@ -78,6 +78,11 @@ class FixIndexConfig:
         feature_cache: consult the cross-document spectral feature
             cache during construction (on by default; disable to
             measure the uncached baseline).
+        prune_backend: default pruning scan backend for query
+            processors over this index — ``"btree"`` (the paper's
+            range scan) or ``"rtree"`` (per-label R-trees answering
+            the containment predicate as a 2-D dominance query,
+            DESIGN.md §8).  Both produce identical candidate sets.
     """
 
     depth_limit: int = 0
@@ -88,6 +93,14 @@ class FixIndexConfig:
     guard_band: float = DEFAULT_GUARD_BAND
     workers: int = 1
     feature_cache: bool = True
+    prune_backend: str = "btree"
+
+    def __post_init__(self) -> None:
+        if self.prune_backend not in ("btree", "rtree"):
+            raise ValueError(
+                f"unknown prune backend {self.prune_backend!r} "
+                "(expected 'btree' or 'rtree')"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -142,6 +155,11 @@ class FixIndex:
         self.report = BuildReport(
             stats=self._generator.stats, timings=self._generator.timings
         )
+        #: bumped by every mutation (add/remove document); query plans
+        #: and spatial views cache against it.
+        self.generation = 0
+        self._spatial_view = None
+        self._spatial_generation = -1
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithm 1)
@@ -304,6 +322,7 @@ class FixIndex:
             key = self._encode_key(entry.key)
             self.btree.insert(key, NodePointer(doc_id, entry.node_id).pack())
         self.report.btree_bytes = self.btree.size_bytes()
+        self.generation += 1
         return doc_id
 
     def remove_document(self, doc_id: int) -> int:
@@ -340,6 +359,7 @@ class FixIndex:
                 removed += 1
         self.store.remove_document(doc_id)
         self.report.btree_bytes = self.btree.size_bytes()
+        self.generation += 1
         return removed
 
     # ------------------------------------------------------------------ #
@@ -382,12 +402,8 @@ class FixIndex:
     # Pruning scan (Algorithm 2, line 6)
     # ------------------------------------------------------------------ #
 
-    def candidates(self, twig: TwigQuery) -> Iterator[IndexEntry]:
-        """All index entries whose key covers the twig's feature key.
-
-        Raises:
-            IndexCoverageError: when :meth:`covers` is false.
-        """
+    def ensure_covers(self, twig: TwigQuery) -> None:
+        """Raise :class:`IndexCoverageError` when :meth:`covers` is false."""
         if not self.covers(twig):
             raise IndexCoverageError(
                 f"index (depth limit {self.config.depth_limit}, values "
@@ -396,6 +412,14 @@ class FixIndex:
                 f"(depth {twig.depth()}, values "
                 f"{'yes' if twig.has_values() else 'no'})"
             )
+
+    def candidates(self, twig: TwigQuery) -> Iterator[IndexEntry]:
+        """All index entries whose key covers the twig's feature key.
+
+        Raises:
+            IndexCoverageError: when :meth:`covers` is false.
+        """
+        self.ensure_covers(twig)
         query_key = self.query_features(twig)
         # Root-label pruning is only sound when the query root must bind
         # the unit root.  That is always true for subpattern entries (one
@@ -440,6 +464,25 @@ class FixIndex:
             pointer = NodePointer.unpack(raw_value[8:16])
             return IndexEntry(key, pointer, record)
         return IndexEntry(key, NodePointer.unpack(raw_value))
+
+    def spatial_view(self):
+        """The per-label R-tree view of this index's feature points,
+        rebuilt lazily whenever the index mutates (generation bump).
+
+        Returns:
+            :class:`~repro.spatial.feature_index.SpatialFeatureIndex`.
+        """
+        if (
+            self._spatial_view is None
+            or self._spatial_generation != self.generation
+        ):
+            # Imported here: repro.spatial.feature_index imports this
+            # module for the IndexEntry type.
+            from repro.spatial.feature_index import SpatialFeatureIndex
+
+            self._spatial_view = SpatialFeatureIndex(self)
+            self._spatial_generation = self.generation
+        return self._spatial_view
 
     # ------------------------------------------------------------------ #
     # Measurements

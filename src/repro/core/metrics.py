@@ -141,6 +141,95 @@ class MetricAverages:
         return self.fpr_sum / self.queries if self.queries else 0.0
 
 
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """One query's observable cost, as reported by the processor."""
+
+    source: str
+    candidate_count: int
+    result_count: int
+    plan_seconds: float
+    prune_seconds: float
+    refine_seconds: float
+    plan_cached: bool
+    documents_fetched: int
+    backend: str
+    workers: int
+
+    @property
+    def false_positive_rate(self) -> float:
+        """``fpr`` of this single query (0 for an empty candidate set)."""
+        if not self.candidate_count:
+            return 0.0
+        return 1.0 - self.result_count / self.candidate_count
+
+    @property
+    def seconds(self) -> float:
+        return self.plan_seconds + self.prune_seconds + self.refine_seconds
+
+
+class QueryMetricsLog:
+    """Rolling per-query metrics sink for :class:`FixQueryProcessor`.
+
+    Pass one as ``metrics_log=`` and every ``query()`` call appends a
+    :class:`QueryRecord`; :meth:`summary` aggregates candidates, FP
+    rates, phase timings, and plan-cache hit rate across the window.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"need a positive capacity, got {capacity}")
+        self._capacity = capacity
+        self.records: list[QueryRecord] = []
+        #: total queries ever recorded (survives window eviction).
+        self.total_queries = 0
+
+    def record(self, source: str, result) -> None:
+        """Append one processor result (duck-typed ``FixQueryResult``)."""
+        self.records.append(
+            QueryRecord(
+                source=source,
+                candidate_count=result.candidate_count,
+                result_count=result.result_count,
+                plan_seconds=result.plan_seconds,
+                prune_seconds=result.prune_seconds,
+                refine_seconds=result.refine_seconds,
+                plan_cached=result.plan_cached,
+                documents_fetched=result.documents_fetched,
+                backend=result.backend,
+                workers=result.workers,
+            )
+        )
+        self.total_queries += 1
+        if len(self.records) > self._capacity:
+            del self.records[: len(self.records) - self._capacity]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def summary(self) -> dict:
+        """Aggregates over the recorded window (JSON-friendly)."""
+        n = len(self.records)
+        if not n:
+            return {"queries": 0}
+        return {
+            "queries": n,
+            "total_queries": self.total_queries,
+            "candidates": sum(r.candidate_count for r in self.records),
+            "results": sum(r.result_count for r in self.records),
+            "avg_false_positive_rate": (
+                sum(r.false_positive_rate for r in self.records) / n
+            ),
+            "plan_cache_hit_rate": (
+                sum(1 for r in self.records if r.plan_cached) / n
+            ),
+            "documents_fetched": sum(r.documents_fetched for r in self.records),
+            "plan_seconds": sum(r.plan_seconds for r in self.records),
+            "prune_seconds": sum(r.prune_seconds for r in self.records),
+            "refine_seconds": sum(r.refine_seconds for r in self.records),
+        }
+
+
 def classify_selectivity(sel: float) -> str:
     """The paper's informal hi / md / lo buckets.
 

@@ -1,4 +1,5 @@
-"""Parallel document fan-out for index construction (DESIGN.md §7).
+"""Parallel document fan-out for index construction and query
+refinement (DESIGN.md §7 and §8).
 
 ``FixIndex.build`` stages one ``(encoded key, doc_id, node_id)`` triple
 per index entry before loading the B-tree; this module produces the same
@@ -6,6 +7,13 @@ staged list using a pool of ``multiprocessing`` workers, one chunk of
 documents per worker, with a **byte-identical guarantee**: the staged
 list — and therefore the bulk-loaded B-tree's exact ``items()`` sequence
 — is the same as the serial build's, for any worker count.
+
+:func:`parallel_refine` applies the same pattern to Algorithm 2's
+refinement phase: the query processor groups candidates by the document
+(or clustered copy unit) they refine against, and the groups are fanned
+out across workers.  Each candidate's verdict is a pure function of
+(query, its unit's tree), so the surviving set — and the final
+pointer-ordered result list — is identical for any worker count.
 
 The guarantee rests on three invariants:
 
@@ -36,6 +44,7 @@ charged to the worker's ``parse`` phase.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -184,3 +193,123 @@ def parallel_stage(
         if result.encoder_state is not None:
             encoder.merge(EdgeLabelEncoder.from_dict(result.encoder_state))
     return merged
+
+
+# --------------------------------------------------------------------- #
+# Query refinement fan-out (DESIGN.md §8)
+# --------------------------------------------------------------------- #
+
+#: One refinement unit: candidates sharing a parsed tree.  ``kind`` is
+#: ``"doc"`` (a primary document; candidates address elements by
+#: node_id) or ``"copy"`` (a clustered unit copy; the single candidate
+#: binds the copy root).  ``candidates`` pairs each candidate's opaque
+#: sequence number with its node id.
+RefineGroup = tuple[str, str, tuple[tuple[int, int], ...]]
+
+
+@dataclass(frozen=True, slots=True)
+class _RefineTask:
+    """Pickled per-worker refinement payload."""
+
+    twig: object  # TwigQuery (already leading-axis-rewritten)
+    refiner: str  # "navigational" | "structural_join"
+    groups: tuple[RefineGroup, ...]
+
+
+def _make_refiner(kind: str):
+    from repro.engine.navigational import NavigationalEngine
+    from repro.engine.structural_join import StructuralJoinEngine
+    from repro.storage.primary import PrimaryXMLStore
+
+    # Refinement never touches the store (it works on parsed trees), so
+    # workers get an empty placeholder.
+    if kind == "structural_join":
+        return StructuralJoinEngine(PrimaryXMLStore())
+    return NavigationalEngine(PrimaryXMLStore())
+
+
+def refine_groups(refiner, twig, groups: "list[RefineGroup] | tuple[RefineGroup, ...]") -> list[int]:
+    """Refine ``groups`` with ``refiner``; returns surviving sequence
+    numbers.  Shared by the in-worker path and (for a single worker or
+    pre-parsed documents) the coordinator."""
+    from repro.query.ast import Axis
+    from repro.xmltree import parse_xml
+
+    surviving: list[int] = []
+    for kind, source, candidates in groups:
+        document = parse_xml(source)
+        if twig.leading_axis is Axis.CHILD:
+            if kind == "copy":
+                if refiner.refine(twig, document.root):
+                    surviving.extend(seq for seq, _ in candidates)
+            else:
+                flags = refiner.refine_group(
+                    twig, document, [node_id for _, node_id in candidates]
+                )
+                surviving.extend(
+                    seq for (seq, _), ok in zip(candidates, flags) if ok
+                )
+        # A '//'-leading twig reaches this path only on collection
+        # indexes, where a unit survives iff the query matches anywhere
+        # inside it — one evaluation answers the whole group.
+        elif refiner.evaluate_document(twig, document):
+            surviving.extend(seq for seq, _ in candidates)
+    return surviving
+
+
+def _refine_worker(task: _RefineTask) -> list[int]:
+    """Refine one chunk of groups (runs in a worker process)."""
+    return refine_groups(_make_refiner(task.refiner), task.twig, task.groups)
+
+
+# Query refinement is latency-sensitive (one fan-out per query, unlike
+# the build's single fan-out per index), so pools are kept alive and
+# reused across queries instead of being spawned per call.  Workers are
+# stateless — every task ships its own query and serialized trees — so
+# reuse cannot leak state between queries or indexes.
+_REFINE_POOLS: dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _refine_pool(processes: int) -> "multiprocessing.pool.Pool":
+    pool = _REFINE_POOLS.get(processes)
+    if pool is None:
+        pool = multiprocessing.get_context().Pool(processes=processes)
+        _REFINE_POOLS[processes] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_refine_pools() -> None:
+    while _REFINE_POOLS:
+        _, pool = _REFINE_POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+def parallel_refine(
+    groups: list[RefineGroup],
+    twig,
+    refiner_kind: str,
+    workers: int,
+) -> list[int]:
+    """Refine ``groups`` across ``workers`` processes.
+
+    Groups are partitioned into contiguous chunks (they arrive in
+    copy-then-doc_id order from the processor); the surviving sequence
+    numbers are concatenated in chunk order, so the output is
+    independent of the worker count.
+    """
+    workers = max(1, min(workers, len(groups)))
+    chunk_size = (len(groups) + workers - 1) // workers
+    tasks = [
+        _RefineTask(twig, refiner_kind, tuple(groups[i : i + chunk_size]))
+        for i in range(0, len(groups), chunk_size)
+    ]
+    if len(tasks) == 1:
+        results = [_refine_worker(tasks[0])]
+    else:
+        results = _refine_pool(len(tasks)).map(_refine_worker, tasks)
+    surviving: list[int] = []
+    for result in results:
+        surviving.extend(result)
+    return surviving

@@ -53,6 +53,7 @@ def save_index(index: FixIndex, directory: str) -> None:
             "guard_band": index.config.guard_band,
             "workers": index.config.workers,
             "feature_cache": index.config.feature_cache,
+            "prune_backend": index.config.prune_backend,
         },
         "encoder": index.encoder.to_dict(),
         "btree": {

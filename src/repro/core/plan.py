@@ -1,0 +1,144 @@
+"""Query plans and the per-processor plan cache.
+
+Algorithm 2's lines 1-5 — parse the path expression, decompose it at
+interior ``//`` edges, extract each pruning fragment's feature key —
+are pure functions of the query text and the index's encoder, yet they
+contain the query side's only O(n³) step (the eigensolve inside
+:meth:`FixIndex.query_features`).  A :class:`QueryPlan` captures that
+work once; a :class:`PlanCache` memoizes plans per (query source, index
+generation), so repeated queries pay only the pruning scan and the
+refinement.
+
+Plans are invalidated by *generation*: :meth:`FixIndex.add_document`
+and :meth:`FixIndex.remove_document` bump ``FixIndex.generation``
+(growing the encoder can re-weight edge labels, which changes feature
+keys), and a cached plan is only served while its recorded generation
+matches the index's.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.query.ast import Axis
+from repro.query.decompose import decompose
+from repro.query.twig import TwigQuery, twig_of
+from repro.spectral import FeatureKey
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """Everything the two-phase pipeline needs that is derivable from
+    the query text alone (under one index generation)."""
+
+    #: the query's surface syntax (cache key; may be empty for
+    #: hand-built twigs, which are then never cached).
+    source: str
+    #: the parsed query tree.
+    twig: TwigQuery
+    #: the fragments that participate in pruning: only the top twig for
+    #: depth-limited indexes, every decomposed fragment for collection
+    #: indexes (Section 5).
+    fragments: tuple[TwigQuery, ...]
+    #: one feature key per pruning fragment.
+    feature_keys: tuple[FeatureKey, ...]
+    #: per-fragment: does the root label anchor the scan?
+    anchored: tuple[bool, ...]
+    #: the twig refinement runs (leading ``//`` rewritten to ``/`` for
+    #: depth-limited indexes — Algorithm 2, line 8).
+    refined: TwigQuery
+    #: drop non-root candidates before refinement (``/``-rooted queries
+    #: on depth-limited indexes, where subpattern entries exist for
+    #: every element but only the document root can bind).
+    root_filter: bool
+    #: the index generation the feature keys were computed under.
+    generation: int
+
+
+def build_plan(index, query: TwigQuery | str) -> QueryPlan:
+    """Plan ``query`` against ``index`` (Algorithm 2, lines 1-5).
+
+    Raises:
+        IndexCoverageError: when the index cannot answer a pruning
+            fragment without false negatives.
+        UnsupportedQueryError: malformed queries (via the parser).
+    """
+    twig = query if isinstance(query, TwigQuery) else twig_of(query)
+    fragments = decompose(twig)
+    depth_limited = index.config.depth_limit > 0
+    if depth_limited or len(fragments) == 1:
+        # Depth-limited index: only the top twig prunes (descendant
+        # fragments can match below the indexed horizon).
+        prune_fragments = (fragments[0],)
+    else:
+        # Collection index: every fragment prunes; candidates intersect.
+        prune_fragments = tuple(fragments)
+    keys: list[FeatureKey] = []
+    anchored: list[bool] = []
+    for fragment in prune_fragments:
+        index.ensure_covers(fragment)
+        keys.append(index.query_features(fragment))
+        anchored.append(depth_limited or fragment.leading_axis is Axis.CHILD)
+    refined = twig
+    root_filter = False
+    if depth_limited:
+        if twig.leading_axis is Axis.DESCENDANT:
+            refined = twig.with_child_leading_axis()
+        else:
+            root_filter = True
+    return QueryPlan(
+        source=twig.source,
+        twig=twig,
+        fragments=prune_fragments,
+        feature_keys=tuple(keys),
+        anchored=tuple(anchored),
+        refined=refined,
+        root_filter=root_filter,
+        generation=index.generation,
+    )
+
+
+class PlanCache:
+    """Bounded LRU of :class:`QueryPlan`\\ s keyed by query source.
+
+    A hit requires the cached plan's generation to equal the current
+    index generation; stale plans are evicted on lookup.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"need a positive capacity, got {capacity}")
+        self._capacity = capacity
+        self._plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def get(self, source: str, generation: int) -> QueryPlan | None:
+        """The cached plan for ``source``, if still valid."""
+        plan = self._plans.get(source)
+        if plan is None:
+            self.misses += 1
+            return None
+        if plan.generation != generation:
+            del self._plans[source]
+            self.misses += 1
+            return None
+        self._plans.move_to_end(source)
+        self.hits += 1
+        return plan
+
+    def put(self, plan: QueryPlan) -> None:
+        """Cache ``plan`` (no-op for sourceless hand-built twigs)."""
+        if not plan.source:
+            return
+        self._plans[plan.source] = plan
+        self._plans.move_to_end(plan.source)
+        while len(self._plans) > self._capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()

@@ -1,19 +1,32 @@
 """Two-phase query processing (Algorithm 2).
 
-Phase 1 — *pruning*: the query's twig pattern is converted to features
-and the B-tree range-scanned for covering entries (handled by
-:meth:`FixIndex.candidates`).  General path expressions with interior
-``//`` are decomposed (Section 5): with a collection index every
-fragment prunes and candidate sets intersect; with a depth-limited index
-only the top fragment prunes.
+Phase 0 — *planning*: the query is parsed, decomposed (Section 5), and
+its pruning fragments' feature keys extracted — the query side's only
+eigensolve.  Plans are memoized per (query source, index generation) in
+a :class:`~repro.core.plan.PlanCache`, so repeated queries skip straight
+to the scan.
 
-Phase 2 — *refinement*: each candidate is validated by a navigational
-engine.  The leading ``//`` is rewritten to ``/`` for depth-limited
-indexes (every descendant of an indexed pattern instance is itself
-indexed, so each candidate only answers for its own root — Algorithm 2,
-lines 7-8).  Clustered candidates refine against their copy when the
-query fits inside the copy's depth horizon, falling back to primary
-storage for decomposed queries whose fragments may match deeper.
+Phase 1 — *pruning*: each fragment's feature key is range-scanned for
+covering entries, either on the B-tree (the paper's design) or on the
+per-label R-tree view (``prune_backend="rtree"``, Section 8 future
+work); both backends produce the same candidate set.  With a collection
+index every fragment prunes and candidate sets intersect incrementally,
+most selective fragment first; with a depth-limited index only the top
+fragment prunes.  ``/``-rooted queries on depth-limited indexes drop
+non-root candidates *inside* this phase, so ``prune_seconds`` and
+``candidate_count`` describe the same candidate list refinement sees.
+
+Phase 2 — *refinement*: candidates are grouped by the document (or
+clustered copy) they refine against, each group's tree is fetched
+exactly once, and all of the group's candidates are validated against
+it — optionally fanned out across ``workers`` processes.  The result
+list is pointer-ordered and identical for any worker count.  The
+leading ``//`` is rewritten to ``/`` for depth-limited indexes (every
+descendant of an indexed pattern instance is itself indexed, so each
+candidate only answers for its own root — Algorithm 2, lines 7-8).
+Clustered candidates refine against their copy when the query fits
+inside the copy's depth horizon, falling back to primary storage for
+decomposed queries whose fragments may match deeper.
 """
 
 from __future__ import annotations
@@ -21,12 +34,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.btree import encode_feature_key
 from repro.core.index import FixIndex, IndexEntry
+from repro.core.plan import PlanCache, QueryPlan, build_plan
 from repro.engine.navigational import NavigationalEngine
 from repro.engine.structural_join import StructuralJoinEngine
 from repro.query.ast import Axis
-from repro.query.decompose import decompose
-from repro.query.twig import TwigQuery, twig_of
+from repro.query.twig import TwigQuery
+from repro.spectral import FeatureKey
 from repro.storage import NodePointer
 
 
@@ -34,13 +49,25 @@ from repro.storage import NodePointer
 class FixQueryResult:
     """Outcome of one two-phase evaluation."""
 
-    #: pointers whose refinement succeeded (the final answer).
+    #: pointers whose refinement succeeded (the final answer), in
+    #: ascending pointer order.
     results: list[NodePointer] = field(default_factory=list)
-    #: how many candidates the pruning phase produced (``cdt``).
+    #: how many candidates the pruning phase produced (``cdt``), after
+    #: the root filter for ``/``-rooted depth-limited queries.
     candidate_count: int = 0
     #: wall-clock split, seconds.
+    plan_seconds: float = 0.0
     prune_seconds: float = 0.0
     refine_seconds: float = 0.0
+    #: True when the plan came out of the cache (no eigensolve paid).
+    plan_cached: bool = False
+    #: distinct trees fetched by the refinement phase (documents plus
+    #: clustered copy units).
+    documents_fetched: int = 0
+    #: pruning backend that produced the candidates.
+    backend: str = "btree"
+    #: refinement worker processes used.
+    workers: int = 1
 
     @property
     def result_count(self) -> int:
@@ -52,6 +79,11 @@ class FixQueryResult:
         """Candidates the refinement rejected."""
         return self.candidate_count - len(self.results)
 
+    @property
+    def seconds(self) -> float:
+        """Total wall-clock across all three phases."""
+        return self.plan_seconds + self.prune_seconds + self.refine_seconds
+
 
 class FixQueryProcessor:
     """INDEX-PROCESSOR: pruning + refinement over one :class:`FixIndex`.
@@ -59,17 +91,78 @@ class FixQueryProcessor:
     The refinement operator is pluggable — the paper's point that FIX
     "can be coupled with any path processing operator that can perform
     query refinement".  Both shipped engines satisfy the contract
-    (``refine``, ``refine_pointer``, ``evaluate_document``); the
-    navigational one is the default, matching the paper's NoK pairing.
+    (``refine``, ``refine_pointer``, ``refine_group``,
+    ``evaluate_document``); the navigational one is the default,
+    matching the paper's NoK pairing.
+
+    Args:
+        index: the index to prune against.
+        refiner: refinement engine (default: navigational over the
+            index's primary store).
+        workers: refinement worker processes.  ``1`` refines in
+            process; ``k > 1`` fans document groups out across ``k``
+            processes with results identical to serial.
+        grouped: group candidates by document and fetch each document
+            once (the default).  ``False`` restores the per-pointer
+            fetch loop — the serial baseline benchmarks compare
+            against.
+        plan_cache: ``True`` (a fresh 256-entry cache), ``False``
+            (plan every query), or a :class:`PlanCache` to share
+            between processors.
+        prune_backend: ``"btree"`` or ``"rtree"``; defaults to the
+            index config's choice.
+        metrics_log: optional sink with a ``record(source, result)``
+            method (see :class:`~repro.core.metrics.QueryMetricsLog`);
+            every :meth:`query` call is reported to it.
     """
 
     def __init__(
         self,
         index: FixIndex,
         refiner: NavigationalEngine | StructuralJoinEngine | None = None,
+        *,
+        workers: int = 1,
+        grouped: bool = True,
+        plan_cache: bool | PlanCache = True,
+        prune_backend: str | None = None,
+        metrics_log=None,
     ) -> None:
         self.index = index
         self.refiner = refiner or NavigationalEngine(index.store)
+        self.workers = max(1, workers)
+        self.grouped = grouped
+        backend = prune_backend or index.config.prune_backend
+        if backend not in ("btree", "rtree"):
+            raise ValueError(
+                f"unknown prune backend {backend!r} (expected 'btree' or 'rtree')"
+            )
+        self.prune_backend = backend
+        if isinstance(plan_cache, PlanCache):
+            self.plan_cache: PlanCache | None = plan_cache
+        else:
+            self.plan_cache = PlanCache() if plan_cache else None
+        self.metrics_log = metrics_log
+        self._histogram = None
+        self._histogram_generation = -1
+
+    # ------------------------------------------------------------------ #
+    # Planning phase
+    # ------------------------------------------------------------------ #
+
+    def plan_for(self, query: TwigQuery | str) -> QueryPlan:
+        """The (possibly cached) plan for ``query``."""
+        return self._plan_for(query)[0]
+
+    def _plan_for(self, query: TwigQuery | str) -> tuple[QueryPlan, bool]:
+        source = query if isinstance(query, str) else query.source
+        if self.plan_cache is not None and source:
+            plan = self.plan_cache.get(source, self.index.generation)
+            if plan is not None:
+                return plan, True
+        plan = build_plan(self.index, query)
+        if self.plan_cache is not None:
+            self.plan_cache.put(plan)
+        return plan, False
 
     # ------------------------------------------------------------------ #
     # Pruning phase
@@ -77,72 +170,210 @@ class FixQueryProcessor:
 
     def prune(self, query: TwigQuery | str) -> list[IndexEntry]:
         """Candidate entries for ``query`` (Section 5 decomposition rules
-        applied), in index-key order."""
-        twig = query if isinstance(query, TwigQuery) else twig_of(query)
-        fragments = decompose(twig)
-        top = fragments[0]
-        if self.index.config.depth_limit > 0 or len(fragments) == 1:
-            # Depth-limited index: only the top twig prunes (descendant
-            # fragments can match below the indexed horizon).
-            return list(self.index.candidates(top))
-        # Collection index: every fragment prunes; a candidate document
-        # must be covered by all of them.
+        and the root filter applied), in (key, pointer) order for single
+        -fragment scans and pointer order for intersections."""
+        return self._pruned_candidates(self._plan_for(query)[0])
+
+    def _pruned_candidates(self, plan: QueryPlan) -> list[IndexEntry]:
+        if len(plan.fragments) == 1:
+            entries = sorted(
+                self._scan(plan.feature_keys[0], plan.anchored[0]),
+                key=_entry_sort_key,
+            )
+        else:
+            entries = self._intersect_fragments(plan)
+        if plan.root_filter:
+            # A '/'-rooted query can only bind the document root, but
+            # subpattern entries exist for *every* element; discarding
+            # non-root candidates is part of pruning, so the counts and
+            # timings the result reports stay consistent.
+            entries = [e for e in entries if e.pointer.node_id == 0]
+        return entries
+
+    def _scan(self, key: FeatureKey, anchored: bool):
+        """One fragment's candidate stream from the selected backend."""
+        if self.prune_backend == "rtree":
+            return self.index.spatial_view().candidates_for_key(
+                key, anchored=anchored
+            )
+        return self.index.candidates_for_key(key, anchored=anchored)
+
+    def _intersect_fragments(self, plan: QueryPlan) -> list[IndexEntry]:
+        """Collection-mode pruning: intersect every fragment's candidates.
+
+        The fragments are scanned most-selective-first (λ_max-histogram
+        estimate), and each later stream is only membership-tested
+        against the running survivor set — no full candidate dict is
+        materialized beyond the first, and an empty survivor set exits
+        early.
+        """
+        order = sorted(
+            range(len(plan.fragments)),
+            key=lambda i: self._estimate_candidates(
+                plan.feature_keys[i], plan.anchored[i]
+            ),
+        )
         surviving: dict[NodePointer, IndexEntry] | None = None
-        for fragment in fragments:
-            hits = {
-                entry.pointer: entry for entry in self.index.candidates(fragment)
-            }
+        for i in order:
+            stream = self._scan(plan.feature_keys[i], plan.anchored[i])
             if surviving is None:
-                surviving = hits
+                surviving = {entry.pointer: entry for entry in stream}
             else:
+                seen = {
+                    entry.pointer for entry in stream if entry.pointer in surviving
+                }
                 surviving = {
                     pointer: entry
                     for pointer, entry in surviving.items()
-                    if pointer in hits
+                    if pointer in seen
                 }
             if not surviving:
                 return []
         assert surviving is not None
         return sorted(surviving.values(), key=lambda entry: entry.pointer)
 
+    def _estimate_candidates(self, key: FeatureKey, anchored: bool) -> float:
+        from repro.core.stats import FeatureHistogram
+
+        if (
+            self._histogram is None
+            or self._histogram_generation != self.index.generation
+        ):
+            self._histogram = FeatureHistogram(self.index)
+            self._histogram_generation = self.index.generation
+        return self._histogram.estimate_candidates(key, anchored=anchored)
+
     # ------------------------------------------------------------------ #
     # Full pipeline
     # ------------------------------------------------------------------ #
 
     def query(self, query: TwigQuery | str) -> FixQueryResult:
-        """Run both phases and return the validated result pointers."""
-        twig = query if isinstance(query, TwigQuery) else twig_of(query)
-        result = FixQueryResult()
+        """Run all phases and return the validated result pointers."""
+        result = FixQueryResult(backend=self.prune_backend, workers=self.workers)
         started = time.perf_counter()
-        candidates = self.prune(twig)
+        plan, cached = self._plan_for(query)
+        result.plan_seconds = time.perf_counter() - started
+        result.plan_cached = cached
+
+        started = time.perf_counter()
+        candidates = self._pruned_candidates(plan)
         result.prune_seconds = time.perf_counter() - started
         result.candidate_count = len(candidates)
 
-        refined = twig
-        if self.index.config.depth_limit > 0:
-            if twig.leading_axis is Axis.DESCENDANT:
-                refined = twig.with_child_leading_axis()
-            else:
-                # A '/'-rooted query can only bind the document root, but
-                # subpattern entries exist for *every* element; discard
-                # non-root candidates before refinement.
-                candidates = [
-                    entry for entry in candidates if entry.pointer.node_id == 0
-                ]
-                result.candidate_count = len(candidates)
-
         started = time.perf_counter()
-        for entry in candidates:
-            if self._refine_entry(refined, entry):
-                result.results.append(entry.pointer)
+        if self.grouped or self.workers > 1:
+            survivors, fetched = self._refine_grouped(plan.refined, candidates)
+        else:
+            survivors = [
+                entry.pointer
+                for entry in candidates
+                if self._refine_entry(plan.refined, entry)
+            ]
+            fetched = len(candidates)
+        survivors.sort()
+        result.results = survivors
+        result.documents_fetched = fetched
         result.refine_seconds = time.perf_counter() - started
+        if self.metrics_log is not None:
+            self.metrics_log.record(plan.source, result)
         return result
 
     # ------------------------------------------------------------------ #
     # Refinement phase
     # ------------------------------------------------------------------ #
 
+    def _refine_grouped(
+        self, twig: TwigQuery, candidates: list[IndexEntry]
+    ) -> tuple[list[NodePointer], int]:
+        """Group candidates by their refinement tree, fetch each tree
+        once, validate all of its candidates against it."""
+        use_copy = self._copy_suffices(twig)
+        copy_entries: list[IndexEntry] = []
+        doc_groups: dict[int, list[IndexEntry]] = {}
+        for entry in candidates:
+            if entry.record is not None and use_copy:
+                copy_entries.append(entry)
+            else:
+                doc_groups.setdefault(entry.pointer.doc_id, []).append(entry)
+
+        group_count = len(copy_entries) + len(doc_groups)
+        if self.workers > 1 and group_count > 1:
+            kind = self._parallel_refiner_kind()
+            if kind is not None:
+                return (
+                    self._refine_parallel(twig, copy_entries, doc_groups, kind),
+                    group_count,
+                )
+
+        survivors: list[NodePointer] = []
+        for entry in copy_entries:
+            assert self.index.clustered_store is not None
+            unit = self.index.clustered_store.get_unit(entry.record)
+            if twig.leading_axis is Axis.CHILD:
+                ok = self.refiner.refine(twig, unit.root)
+            else:
+                ok = bool(self.refiner.evaluate_document(twig, unit))
+            if ok:
+                survivors.append(entry.pointer)
+        for doc_id in sorted(doc_groups):
+            entries = doc_groups[doc_id]
+            document = self.index.store.get_document(doc_id)
+            if twig.leading_axis is Axis.CHILD:
+                flags = self.refiner.refine_group(
+                    twig, document, [e.pointer.node_id for e in entries]
+                )
+                survivors.extend(
+                    entry.pointer for entry, ok in zip(entries, flags) if ok
+                )
+            # A '//'-leading twig only reaches refinement on collection
+            # indexes (depth-limited rewrites it to '/'), where a unit
+            # survives iff the query matches anywhere inside it.
+            elif self.refiner.evaluate_document(twig, document):
+                survivors.extend(entry.pointer for entry in entries)
+        return survivors, group_count
+
+    def _refine_parallel(
+        self,
+        twig: TwigQuery,
+        copy_entries: list[IndexEntry],
+        doc_groups: dict[int, list[IndexEntry]],
+        refiner_kind: str,
+    ) -> list[NodePointer]:
+        from repro.core.parallel import parallel_refine
+
+        pointers: list[NodePointer] = []
+        groups = []
+        for entry in copy_entries:
+            assert self.index.clustered_store is not None
+            seq = len(pointers)
+            pointers.append(entry.pointer)
+            groups.append(
+                (
+                    "copy",
+                    self.index.clustered_store.get_unit_source(entry.record),
+                    ((seq, 0),),
+                )
+            )
+        for doc_id in sorted(doc_groups):
+            members = []
+            for entry in doc_groups[doc_id]:
+                members.append((len(pointers), entry.pointer.node_id))
+                pointers.append(entry.pointer)
+            groups.append(("doc", self.index.store.get_source(doc_id), tuple(members)))
+        surviving = parallel_refine(groups, twig, refiner_kind, self.workers)
+        return [pointers[seq] for seq in surviving]
+
+    def _parallel_refiner_kind(self) -> str | None:
+        """The picklable identity of the refiner, or ``None`` for custom
+        engines (which then refine in-process, still grouped)."""
+        if isinstance(self.refiner, StructuralJoinEngine):
+            return "structural_join"
+        if isinstance(self.refiner, NavigationalEngine):
+            return "navigational"
+        return None
+
     def _refine_entry(self, twig: TwigQuery, entry: IndexEntry) -> bool:
+        """Per-pointer refinement (the ungrouped baseline path)."""
         if entry.record is not None and self._copy_suffices(twig):
             assert self.index.clustered_store is not None
             unit = self.index.clustered_store.get_unit(entry.record)
@@ -159,6 +390,20 @@ class FixQueryProcessor:
     def _copy_suffices(self, twig: TwigQuery) -> bool:
         """A clustered copy holds the unit down to the index depth limit;
         it answers the query alone iff the query cannot reach deeper."""
+        if self.index.clustered_store is None:
+            return False
         if self.index.config.depth_limit <= 0:
             return True  # whole-unit copies
         return twig.is_twig() and twig.depth() <= self.index.config.depth_limit
+
+
+def _entry_sort_key(entry: IndexEntry) -> tuple[bytes, NodePointer]:
+    """(encoded feature key, pointer): index-key order with a pointer
+    tie-break, making single-fragment candidate lists deterministic and
+    identical across pruning backends."""
+    return (
+        encode_feature_key(
+            entry.key.root_label, entry.key.range.lmax, entry.key.range.lmin
+        ),
+        entry.pointer,
+    )

@@ -75,21 +75,33 @@ class FeatureHistogram:
             # Labels whose every entry is unbounded.
             self._histograms[label] = _LabelHistogram(0.0, 0.0, [], count)
 
-    def estimate_candidates(self, query_key: FeatureKey) -> float:
+    def estimate_candidates(
+        self, query_key: FeatureKey, anchored: bool = True
+    ) -> float:
         """Estimated ``cdt`` for a query feature key.
 
         The scan condition is ``label match and indexed λ_max >= query
         λ_max``; the λ_min filter is ignored by the estimator (λ_min is
         -λ_max for real anti-symmetric matrices, so it rejects almost
         nothing the λ_max condition admits — see eigen.py).
+
+        ``anchored=False`` drops the label condition and sums the
+        estimate over every label — the collection-mode ``//`` scan,
+        which the processor uses to order intersection fragments by
+        selectivity.
         """
-        histogram = self._histograms.get(query_key.root_label)
-        if histogram is None:
-            return 0.0
+        if anchored:
+            histograms = (
+                [self._histograms[query_key.root_label]]
+                if query_key.root_label in self._histograms
+                else []
+            )
+        else:
+            histograms = list(self._histograms.values())
         threshold = query_key.range.lmax
         if math.isinf(threshold):
-            return float(histogram.unbounded)
-        return histogram.estimate_at_least(threshold)
+            return float(sum(h.unbounded for h in histograms))
+        return sum(h.estimate_at_least(threshold) for h in histograms)
 
     def labels(self) -> list[str]:
         """Labels with at least one indexed entry."""

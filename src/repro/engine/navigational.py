@@ -105,6 +105,23 @@ class NavigationalEngine:
         self.stats.documents_opened += 1
         return self.refine(twig, element)
 
+    def refine_group(
+        self, twig: TwigQuery, document: Document, node_ids: list[int]
+    ) -> list[bool]:
+        """Refine several candidates of one already-loaded document.
+
+        The verification memo is shared across the whole group (it is
+        keyed by (query node, element), so overlapping subtrees — e.g.
+        nested candidates in recursive data — are verified once), which
+        is the point of grouping refinement by document.
+        """
+        memo: dict[tuple[int, int], bool] = {}
+        self.stats.documents_opened += 1
+        return [
+            self._verify(twig.root, document.element_at(node_id), memo)
+            for node_id in node_ids
+        ]
+
     # ------------------------------------------------------------------ #
     # Verification core
     # ------------------------------------------------------------------ #

@@ -137,6 +137,21 @@ class StructuralJoinEngine:
         """Refinement through an unclustered-index pointer."""
         return self.refine(twig, self._store.resolve(pointer))
 
+    def refine_group(
+        self, twig: TwigQuery, document: Document, node_ids: list[int]
+    ) -> list[bool]:
+        """Refine several candidates of one already-loaded document.
+
+        One bottom-up semi-join pass over the whole document's inverted
+        lists answers every candidate at once: the region-containment
+        predicate already confines matches to each binding's subtree, so
+        membership in the document-wide root-binding set is equivalent
+        to the per-subtree :meth:`refine` result.
+        """
+        lists = self._lists_for(document)
+        bindings = {region.start for region in self._bindings(twig.root, lists)}
+        return [node_id in bindings for node_id in node_ids]
+
     # ------------------------------------------------------------------ #
     # Bottom-up semi-joins
     # ------------------------------------------------------------------ #

@@ -46,20 +46,36 @@ class SpatialFeatureIndex:
     # Queries
     # ------------------------------------------------------------------ #
 
-    def candidates_for_key(self, query_key: FeatureKey) -> Iterator[IndexEntry]:
-        """Same contract as :meth:`FixIndex.candidates_for_key` (anchored)."""
-        label = query_key.root_label
-        tree = self._trees.get(label)
-        if tree is not None:
-            # Containment with the guard band: indexed λ_min <= q_min + g
-            # and indexed λ_max >= q_max - g.
-            qx = query_key.range.lmin + self._guard
-            qy = query_key.range.lmax - self._guard
-            if math.isinf(qy):  # degenerate all-covering query key
-                qy = -math.inf
+    def candidates_for_key(
+        self, query_key: FeatureKey, anchored: bool = True
+    ) -> Iterator[IndexEntry]:
+        """Same contract as :meth:`FixIndex.candidates_for_key`.
+
+        ``anchored=False`` drops the root-label condition and runs the
+        dominance query against every label's tree (collection-mode
+        ``//`` queries, where the query root can bind below unrelated
+        unit roots).
+        """
+        # Containment with the guard band: indexed λ_min <= q_min + g
+        # and indexed λ_max >= q_max - g.
+        qx = query_key.range.lmin + self._guard
+        qy = query_key.range.lmax - self._guard
+        if math.isinf(qy):  # degenerate all-covering query key
+            qy = -math.inf
+        if anchored:
+            label = query_key.root_label
+            trees = [self._trees[label]] if label in self._trees else []
+            covering = [self._all_covering.get(label, [])]
+        else:
+            trees = [self._trees[label] for label in sorted(self._trees)]
+            covering = [
+                self._all_covering[label] for label in sorted(self._all_covering)
+            ]
+        for tree in trees:
             for entry in tree.search_dominating(qx, qy):
                 yield entry  # type: ignore[misc]
-        yield from self._all_covering.get(label, [])
+        for entries in covering:
+            yield from entries
 
     # ------------------------------------------------------------------ #
     # Accounting

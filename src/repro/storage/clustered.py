@@ -98,6 +98,15 @@ class ClusteredStore:
         payload = copy_limited_depth(element, depth_limit).encode("utf-8")
         return self._records.append(payload)
 
+    def get_unit_source(self, pointer: RecordPointer) -> str:
+        """Raw serialized XML of a copied unit, without parsing.
+
+        This is what parallel query refinement ships to worker
+        processes — the stored record bytes are already the serialized
+        form (mirrors :meth:`PrimaryXMLStore.get_source`).
+        """
+        return self._records.read(pointer).decode("utf-8")
+
     def get_unit(self, pointer: RecordPointer) -> Document:
         """Fetch (and parse, if not cached) a copied unit."""
         cached = self._cache.get(pointer)

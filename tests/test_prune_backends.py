@@ -1,0 +1,143 @@
+"""Property-style equivalence tests for the two pruning backends.
+
+The R-tree backend answers the Section 3.4 containment predicate as a
+2-D dominance query; the B-tree backend range-scans the λ_max suffix.
+Both must produce the *same candidate list* — same entries, same
+(key, pointer) order — and therefore identical final results, over
+randomized corpora and query sets, for every index variant.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor
+from repro.query import twig_of
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, Element
+
+LABELS = ["a", "b", "c", "d", "e"]
+
+
+def random_document(rng: random.Random, max_depth: int = 4) -> Document:
+    """A random small tree, recursive labels allowed (so λ ranges vary)."""
+
+    def build(level: int) -> Element:
+        element = Element(rng.choice(LABELS))
+        if level < max_depth:
+            for _ in range(rng.randint(0, 3 if level < 2 else 2)):
+                element.append(build(level + 1))
+        return element
+
+    return Document(build(1))
+
+
+def random_queries(rng: random.Random, count: int) -> list[str]:
+    """Random twigs and decomposable path expressions over the alphabet,
+    shallow enough for a depth-limit-4 index to cover."""
+    queries = []
+    for _ in range(count):
+        lead = rng.choice(["//", "/"])
+        parts = [lead, rng.choice(LABELS)]
+        for _ in range(rng.randint(0, 2)):
+            connector = rng.choice(["/", "//", "["])
+            label = rng.choice(LABELS)
+            if connector == "[":
+                parts.append(f"[{label}]")
+            else:
+                parts.extend([connector, label])
+        queries.append("".join(parts))
+    return queries
+
+
+def build_store(seed: int, documents: int = 8) -> PrimaryXMLStore:
+    rng = random.Random(seed)
+    store = PrimaryXMLStore()
+    for _ in range(documents):
+        store.add_document(random_document(rng))
+    return store
+
+
+CONFIGS = [
+    pytest.param(FixIndexConfig(depth_limit=0), id="collection"),
+    pytest.param(FixIndexConfig(depth_limit=4), id="depth-limited"),
+    pytest.param(
+        FixIndexConfig(depth_limit=4, clustered=True), id="clustered"
+    ),
+]
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_candidates_and_results_identical(self, seed, config):
+        store = build_store(seed)
+        index = FixIndex.build(store, config)
+        btree = FixQueryProcessor(index, prune_backend="btree")
+        rtree = FixQueryProcessor(index, prune_backend="rtree")
+        rng = random.Random(seed * 7 + 1)
+        compared = 0
+        for query in random_queries(rng, 25):
+            twig = twig_of(query)
+            if not index.covers(twig):
+                continue
+            left = btree.prune(twig)
+            right = rtree.prune(twig)
+            assert [(e.key, e.pointer) for e in left] == [
+                (e.key, e.pointer) for e in right
+            ], query
+            assert btree.query(twig).results == rtree.query(twig).results, query
+            compared += 1
+        assert compared > 0
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_unanchored_and_intersection_queries(self, config):
+        # '//'-led on a collection index exercises the unanchored scan;
+        # the bracketed '//' fragment exercises candidate intersection.
+        store = build_store(17, documents=10)
+        index = FixIndex.build(store, config)
+        btree = FixQueryProcessor(index, prune_backend="btree")
+        rtree = FixQueryProcessor(index, prune_backend="rtree")
+        for query in ["//b", "//a[.//b]", "//a[.//b][.//c]", "/a/b"]:
+            twig = twig_of(query)
+            if not index.covers(twig):
+                continue
+            assert {e.pointer for e in btree.prune(twig)} == {
+                e.pointer for e in rtree.prune(twig)
+            }, query
+            assert btree.query(twig).results == rtree.query(twig).results, query
+
+    def test_backend_survives_incremental_updates(self):
+        # The spatial view is generation-cached; mutations must rebuild it.
+        from repro.xmltree import parse_xml
+
+        store = build_store(5, documents=4)
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        rtree = FixQueryProcessor(index, prune_backend="rtree")
+        btree = FixQueryProcessor(index, prune_backend="btree")
+        before = rtree.query("//a[b]").results
+        assert before == btree.query("//a[b]").results
+        doc_id = index.add_document(parse_xml("<a><b/><b/></a>"))
+        after_rtree = rtree.query("//a[b]").results
+        after_btree = btree.query("//a[b]").results
+        assert after_rtree == after_btree
+        assert any(p.doc_id == doc_id for p in after_rtree)
+        index.remove_document(doc_id)
+        assert rtree.query("//a[b]").results == before
+
+    def test_backend_selection_via_config_and_override(self):
+        store = build_store(5, documents=3)
+        index = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, prune_backend="rtree")
+        )
+        assert FixQueryProcessor(index).prune_backend == "rtree"
+        assert (
+            FixQueryProcessor(index, prune_backend="btree").prune_backend
+            == "btree"
+        )
+        with pytest.raises(ValueError):
+            FixQueryProcessor(index, prune_backend="quadtree")
+        with pytest.raises(ValueError):
+            FixIndexConfig(prune_backend="quadtree")
