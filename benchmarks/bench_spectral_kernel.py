@@ -1,0 +1,348 @@
+"""Spectral-kernel benchmark: legacy complex path vs real-SVD kernel.
+
+Two sections:
+
+* **micro** — random anti-symmetric pattern matrices in three mixes
+  (small n=2-3, medium n=4-8, large n=10-24), each solved three ways:
+
+  - ``legacy``     — per-pattern ``eigvalsh(1j*M)`` (the seed's path);
+  - ``real``       — per-pattern real kernel (closed forms for n<=3,
+    real SVD otherwise);
+  - ``batched``    — one :func:`repro.spectral.solve_batch` call per
+    mix: misses bucketed by dimension, one stacked LAPACK dispatch
+    per bucket.
+
+  Every range is cross-checked: batched == per-pattern *exactly*,
+  real vs legacy within 1e-9, and ``lmin == -lmax`` exactly for the
+  real kernel.
+
+* **end-to-end** — two cold builds (feature cache off, so every
+  pattern pays its eigensolve) of the same medium deep-chain corpus,
+  one under ``eigen_solver="legacy"`` and one under ``"real"``.  The
+  acceptance bar is a >= 2x speedup of the eigen phase, with byte-wise
+  identical query answers, all feature ranges agreeing within 1e-9,
+  and exact λ symmetry for every real-kernel key.
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_spectral_kernel.py [--quick]
+
+writes ``BENCH_spectral.json`` at the repository root with the raw
+timings, batching profiles, and equivalence checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+import numpy as np
+
+from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor
+from repro.btree.keys import decode_feature_key
+from repro.spectral import solve_batch
+from repro.spectral.kernel import legacy_range, singular_range
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import Document, Element
+
+TARGET_SPEEDUP = 2.0
+TOLERANCE = 1e-9
+LABELS = ("para", "note", "item", "entry", "ref", "cite")
+QUERIES = ("//para", "//item//text", "//note", "//entry//text")
+
+
+# --------------------------------------------------------------------- #
+# Micro: solver cost per pattern mix
+# --------------------------------------------------------------------- #
+
+
+def random_antisymmetric(rng: np.random.Generator, n: int) -> np.ndarray:
+    """A DAG-shaped anti-symmetric matrix with integer edge weights."""
+    upper = np.triu(rng.integers(1, 40, size=(n, n)).astype(np.float64), 1)
+    mask = np.triu(rng.random((n, n)) < 0.7, 1)
+    upper *= mask
+    return upper - upper.T
+
+
+def make_mix(
+    name: str, dims: tuple[int, int], count: int, seed: int
+) -> tuple[str, list[np.ndarray]]:
+    rng = np.random.default_rng(seed)
+    low, high = dims
+    matrices = [
+        random_antisymmetric(rng, int(rng.integers(low, high + 1)))
+        for _ in range(count)
+    ]
+    return name, matrices
+
+
+def time_micro_mix(name: str, matrices: list[np.ndarray]) -> dict:
+    """Time the three solver paths over one mix and cross-check them."""
+    started = time.perf_counter()
+    legacy = [legacy_range(matrix) for matrix in matrices]
+    legacy_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    per_pattern = [singular_range(matrix) for matrix in matrices]
+    real_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched, buckets = solve_batch(matrices)
+    batched_seconds = time.perf_counter() - started
+
+    max_delta = 0.0
+    for legacy_r, scalar_r, batch_r in zip(legacy, per_pattern, batched):
+        if batch_r != scalar_r:
+            raise SystemExit(
+                f"FAIL({name}): batched result {batch_r} differs from "
+                f"per-pattern result {scalar_r}"
+            )
+        if batch_r[0] != -batch_r[1]:
+            raise SystemExit(f"FAIL({name}): asymmetric range {batch_r}")
+        max_delta = max(max_delta, abs(batch_r[1] - legacy_r[1]))
+    if max_delta > TOLERANCE:
+        raise SystemExit(
+            f"FAIL({name}): real vs legacy disagree by {max_delta:.2e}"
+        )
+
+    return {
+        "mix": name,
+        "patterns": len(matrices),
+        "dims": sorted({matrix.shape[0] for matrix in matrices}),
+        "legacy_seconds": legacy_seconds,
+        "real_seconds": real_seconds,
+        "batched_seconds": batched_seconds,
+        "batched_speedup": (
+            legacy_seconds / batched_seconds if batched_seconds else 0.0
+        ),
+        "buckets": {str(dim): count for dim, count in sorted(buckets.items())},
+        "max_range_delta": max_delta,
+    }
+
+
+def run_micro(quick: bool, seed: int) -> list[dict]:
+    scale = 1 if quick else 8
+    mixes = [
+        make_mix("small", (2, 3), 500 * scale, seed),
+        make_mix("medium", (4, 8), 250 * scale, seed + 1),
+        make_mix("large", (10, 24), 60 * scale, seed + 2),
+    ]
+    rows = []
+    for name, matrices in mixes:
+        row = time_micro_mix(name, matrices)
+        rows.append(row)
+        print(
+            f"micro/{name:6s} {row['patterns']:5d} patterns  "
+            f"legacy {row['legacy_seconds']:6.3f}s  "
+            f"batched {row['batched_seconds']:6.3f}s  "
+            f"({row['batched_speedup']:.2f}x)"
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# End-to-end: cold builds under each solver
+# --------------------------------------------------------------------- #
+
+
+def _chain(rng: random.Random, depth: int) -> Element:
+    element = Element(rng.choice(LABELS))
+    if depth > 1:
+        for _ in range(2 if rng.random() < 0.22 else 1):
+            element.append(_chain(rng, depth - 1))
+    else:
+        element.add_element("text")
+    return element
+
+
+def build_corpus(documents: int, chains: int, depth: int, seed: int) -> PrimaryXMLStore:
+    """Structurally *distinct* deep documents (one seed each), so a
+    cold build really pays one eigensolve per distinct pattern."""
+    store = PrimaryXMLStore()
+    for i in range(documents):
+        rng = random.Random(seed + i)
+        root = Element("book")
+        for _ in range(chains):
+            root.append(_chain(rng, depth))
+        store.add_document(Document(root))
+    return store
+
+
+def run_build(store: PrimaryXMLStore, solver: str, depth_limit: int) -> dict:
+    config = FixIndexConfig(
+        depth_limit=depth_limit, feature_cache=False, eigen_solver=solver
+    )
+    started = time.perf_counter()
+    index = FixIndex.build(store, config)
+    seconds = time.perf_counter() - started
+    stats = index.report.stats
+    processor = FixQueryProcessor(index)
+    answers = {
+        query: sorted(map(str, processor.query(query).results))
+        for query in QUERIES
+    }
+    return {
+        "solver": index.report.eigen_solver,
+        "seconds": seconds,
+        "eigen_seconds": index.report.timings.as_dict()["eigen"],
+        "phases": index.report.timings.as_dict(),
+        "entries": index.entry_count,
+        "eigen_computations": stats.eigen_computations,
+        "eigen_batches": stats.eigen_batches,
+        "eigen_batch_sizes": {
+            str(size): count
+            for size, count in sorted(stats.eigen_batch_sizes.items())
+        },
+        "largest_pattern": stats.largest_pattern,
+        "_index": index,
+        "_answers": answers,
+    }
+
+
+def compare_builds(legacy: dict, real: dict) -> dict:
+    """Equivalence checks between the two builds."""
+    if legacy["_answers"] != real["_answers"]:
+        raise SystemExit("FAIL: query answers differ between solvers")
+
+    # Keys with near-tie ranges can order differently between solvers
+    # (the deltas are ~1e-14), so match entries by their pointer value,
+    # which is unique per indexed element.
+    legacy_by_value = {
+        value: decode_feature_key(key)
+        for key, value in legacy["_index"].btree.items()
+    }
+    real_by_value = {
+        value: decode_feature_key(key)
+        for key, value in real["_index"].btree.items()
+    }
+    if set(legacy_by_value) != set(real_by_value):
+        raise SystemExit("FAIL: entry pointers differ between solvers")
+    max_delta = 0.0
+    for value, (label_l, lmax_l, lmin_l) in legacy_by_value.items():
+        label_r, lmax_r, lmin_r = real_by_value[value]
+        if label_l != label_r:
+            raise SystemExit("FAIL: key labels differ between solvers")
+        if lmin_r != -lmax_r:
+            raise SystemExit(f"FAIL: asymmetric real key ({lmin_r}, {lmax_r})")
+        max_delta = max(
+            max_delta, abs(lmax_r - lmax_l), abs(lmin_r - lmin_l)
+        )
+    if max_delta > TOLERANCE:
+        raise SystemExit(f"FAIL: feature ranges disagree by {max_delta:.2e}")
+
+    eigen_speedup = (
+        legacy["eigen_seconds"] / real["eigen_seconds"]
+        if real["eigen_seconds"]
+        else 0.0
+    )
+    return {
+        "identical_query_results": True,
+        "max_range_delta": max_delta,
+        "real_keys_exactly_symmetric": True,
+        "eigen_phase_speedup": eigen_speedup,
+        "total_build_speedup": (
+            legacy["seconds"] / real["seconds"] if real["seconds"] else 0.0
+        ),
+    }
+
+
+def run_end_to_end(quick: bool, seed: int) -> dict:
+    documents = 3 if quick else 10
+    chains = 2 if quick else 3
+    depth = 8 if quick else 20
+    store = build_corpus(documents, chains, depth, seed)
+    elements = sum(
+        store.get_document(doc_id).element_count()
+        for doc_id in store.doc_ids()
+    )
+    print(f"corpus: {documents} distinct documents, {elements} elements")
+
+    runs = {}
+    for solver in ("legacy", "real"):
+        run = run_build(store, solver, depth_limit=depth)
+        runs[solver] = run
+        batches = (
+            f", {run['eigen_batches']} stacked batches"
+            if run["eigen_batches"]
+            else ""
+        )
+        print(
+            f"build[{solver:6s}] {run['seconds']:6.2f}s total, "
+            f"eigen {run['eigen_seconds']:6.2f}s "
+            f"({run['eigen_computations']} solves{batches})"
+        )
+
+    checks = compare_builds(runs["legacy"], runs["real"])
+    print(
+        f"eigen-phase speedup: {checks['eigen_phase_speedup']:.2f}x "
+        f"(target {TARGET_SPEEDUP:.0f}x), "
+        f"max range delta {checks['max_range_delta']:.2e}"
+    )
+    for run in runs.values():
+        run.pop("_index")
+        run.pop("_answers")
+    return {
+        "corpus": {
+            "documents": documents,
+            "chains_per_document": chains,
+            "depth": depth,
+            "seed": seed,
+            "elements": elements,
+            "depth_limit": depth,
+            "feature_cache": False,
+        },
+        "queries": list(QUERIES),
+        "runs": [runs["legacy"], runs["real"]],
+        "checks": checks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny smoke run (CI); skips the speedup assertion and does "
+        "not write BENCH_spectral.json unless --out is given",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output JSON path (default: BENCH_spectral.json at the repo "
+        "root; quick runs print only unless --out is set)",
+    )
+    args = parser.parse_args(argv)
+
+    micro = run_micro(args.quick, args.seed)
+    end_to_end = run_end_to_end(args.quick, args.seed)
+
+    report = {
+        "tolerance": TOLERANCE,
+        "target_speedup": TARGET_SPEEDUP,
+        "micro": micro,
+        "end_to_end": end_to_end,
+    }
+
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_spectral.json"
+        )
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(out)}")
+
+    speedup = end_to_end["checks"]["eigen_phase_speedup"]
+    if not args.quick and speedup < TARGET_SPEEDUP:
+        print(f"FAIL: eigen-phase speedup below the {TARGET_SPEEDUP:.0f}x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

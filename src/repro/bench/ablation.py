@@ -9,7 +9,10 @@
 
    Because real anti-symmetric spectra are symmetric, the λ-pair carries
    one scalar; the spectrum variant shows what the discarded information
-   was worth.
+   was worth.  Spectra come from the real-SVD kernel's full-spectrum
+   path (:func:`repro.spectral.kernel.real_spectrum`, via
+   :func:`~repro.spectral.eigen.graph_spectrum`): the ``±σ`` pairs of
+   the pattern's singular values, exactly symmetric by construction.
 
 2. **β sweep** — the Section 4.6 trade-off: value-hash bucket count vs.
    index size, construction time, and value-query false positives.

@@ -2,7 +2,8 @@
 unclustered vs. clustered index sizes.
 
 Beyond the paper's columns, each row carries the per-phase breakdown of
-the construction time (parse / encode / bisim / unfold / eigen / insert,
+the construction time (parse / encode / bisim / unfold / matrix / eigen
+/ insert,
 see :class:`~repro.core.construction.PhaseTimings`) so the dominant cost
 — eigen-decomposition — is visible next to the headline ICT number."""
 
@@ -29,10 +30,16 @@ class Table1Row:
     oversized_patterns: int
     #: phase name -> seconds for the unclustered build.
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: spectral solver the build ran under and its batching profile
+    #: (stacked kernel dispatches; batch size -> stacked-call count).
+    eigen_solver: str = "real"
+    eigen_batches: int = 0
+    eigen_batch_sizes: dict[int, int] = field(default_factory=dict)
 
     @property
     def eigen_share(self) -> float:
-        """Fraction of the phase-accounted time spent in ``eigvalsh``."""
+        """Fraction of the phase-accounted time spent in the eigensolve
+        proper (matrix assembly is accounted separately as ``matrix``)."""
         total = sum(self.phase_seconds.values())
         return self.phase_seconds.get("eigen", 0.0) / total if total else 0.0
 
@@ -64,6 +71,11 @@ def run_table1(
                 clustered_bytes=clustered.total_size_bytes(),
                 oversized_patterns=unclustered.report.stats.oversized_patterns,
                 phase_seconds=unclustered.report.timings.as_dict(),
+                eigen_solver=unclustered.report.eigen_solver,
+                eigen_batches=unclustered.report.stats.eigen_batches,
+                eigen_batch_sizes=dict(
+                    unclustered.report.stats.eigen_batch_sizes
+                ),
             )
         )
     return rows
@@ -96,5 +108,8 @@ def print_table1(rows: list[Table1Row]) -> str:
             f"{phase}={seconds:.2f}s"
             for phase, seconds in row.phase_seconds.items()
         )
-        print(f"  {row.dataset:9s} phases: {phases}")
+        print(
+            f"  {row.dataset:9s} phases: {phases}  "
+            f"[solver={row.eigen_solver}, {row.eigen_batches} batches]"
+        )
     return table

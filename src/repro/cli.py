@@ -77,6 +77,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the cross-document spectral feature cache",
     )
     build.add_argument(
+        "--eigen-solver", choices=["real", "legacy"], default=None,
+        help="spectral solver: 'real' (batched real-arithmetic kernel, the "
+        "default) or 'legacy' (per-pattern complex eigvalsh, for A/B "
+        "verification); default honours REPRO_SPECTRAL_SOLVER",
+    )
+    build.add_argument(
         "--prune-backend", choices=["btree", "rtree"], default="btree",
         help="default pruning backend baked into the index config",
     )
@@ -163,6 +169,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         workers=args.workers,
         feature_cache=not args.no_cache,
         prune_backend=args.prune_backend,
+        eigen_solver=args.eigen_solver,
     )
     started = time.perf_counter()
     index = FixIndex.build(store, config)
@@ -180,10 +187,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
     )
     print(f"  phases: {phases}")
     print(
-        f"  eigen: {stats.eigen_computations} solved, "
+        f"  eigen: {stats.eigen_computations} solved "
+        f"(solver={index.report.eigen_solver}), "
         f"{stats.cache_hits} cache hits, "
         f"{stats.oversized_patterns} oversized"
     )
+    if stats.eigen_batches:
+        sizes = sorted(stats.eigen_batch_sizes.items())
+        histogram = " ".join(f"{size}x{count}" for size, count in sizes)
+        print(
+            f"  eigen batches: {stats.eigen_batches} stacked solves "
+            f"(size x calls: {histogram})"
+        )
     return 0
 
 

@@ -19,6 +19,18 @@ eigenproblem for a pattern, its canonical signature is looked up, so
 isomorphic subpatterns recurring *across* documents pay the O(n³)
 decomposition once per distinct pattern rather than once per document.
 
+Under the default real-arithmetic solver (DESIGN.md §9), the cache
+misses of a document are not solved one by one: each miss contributes
+its anti-symmetric matrix to a batch queue, and when the document's
+event stream ends the queue is flushed through
+:func:`repro.spectral.kernel.solve_batch` — matrices grouped by
+dimension, one stacked-LAPACK call (or vectorized closed form) per
+bucket — before the entries are yielded.  Batching changes *when*
+ranges are computed, never their bytes (the kernel's determinism
+contract), so the staged entry stream is identical to per-pattern
+solving.  The legacy complex solver (``solver="legacy"``) bypasses the
+queue and reproduces the seed's per-pattern behaviour for A/B runs.
+
 Patterns whose unfolding or matrix exceeds the configured caps fall back
 to the all-covering feature range (Section 6.1's artificial ``[0, ∞]``),
 counted in the returned statistics and never cached.
@@ -30,16 +42,23 @@ import time
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import PatternTooLargeError
 from repro.bisim import BisimGraphBuilder, depth_limited_graph, depth_signature
 from repro.bisim.graph import BisimVertex
 from repro.spectral import (
     ALL_COVERING_RANGE,
+    SOLVER_LEGACY,
     EdgeLabelEncoder,
     FeatureCache,
     FeatureKey,
-    pattern_features,
+    FeatureRange,
+    eigenvalue_range,
+    pattern_matrix,
     pattern_signature,
+    resolve_solver,
+    solve_batch,
 )
 from repro.xmltree import Document, tree_events
 from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent
@@ -61,6 +80,11 @@ class ConstructionStats:
     #: feature-cache hits/misses (0/0 when no cache is attached).
     cache_hits: int = 0
     cache_misses: int = 0
+    #: stacked-kernel dispatches: total bucket solves, and a histogram
+    #: of their sizes (matrices per stacked call -> number of calls).
+    #: Both stay 0/empty under the legacy per-pattern solver.
+    eigen_batches: int = 0
+    eigen_batch_sizes: dict[int, int] = field(default_factory=dict)
     per_document_vertices: list[int] = field(default_factory=list)
 
     def merge(self, other: "ConstructionStats") -> None:
@@ -80,6 +104,11 @@ class ConstructionStats:
         self.largest_pattern = max(self.largest_pattern, other.largest_pattern)
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.eigen_batches += other.eigen_batches
+        for size, count in other.eigen_batch_sizes.items():
+            self.eigen_batch_sizes[size] = (
+                self.eigen_batch_sizes.get(size, 0) + count
+            )
         self.per_document_vertices.extend(other.per_document_vertices)
 
 
@@ -93,7 +122,11 @@ class PhaseTimings:
         bisim:  bisimulation-graph construction (event feeding and
                 interning), measured as the entry-generation residual.
         unfold: BISIM-TRAVELER depth-limited unfolding + re-minimization.
-        eigen:  matrix construction + ``eigvalsh`` (cache misses only).
+        matrix: canonical-order anti-symmetric matrix assembly
+                (:func:`~repro.spectral.matrix.pattern_matrix`; cache
+                misses only).
+        eigen:  the eigensolve proper — stacked real-kernel dispatches
+                or per-pattern ``eigvalsh`` (cache misses only).
         insert: B-tree loading (and clustered copy-out, when applicable).
     """
 
@@ -101,6 +134,7 @@ class PhaseTimings:
     encode: float = 0.0
     bisim: float = 0.0
     unfold: float = 0.0
+    matrix: float = 0.0
     eigen: float = 0.0
     insert: float = 0.0
 
@@ -115,6 +149,7 @@ class PhaseTimings:
         self.encode += other.encode
         self.bisim += other.bisim
         self.unfold += other.unfold
+        self.matrix += other.matrix
         self.eigen += other.eigen
         self.insert += other.insert
 
@@ -125,6 +160,7 @@ class PhaseTimings:
             "encode": self.encode,
             "bisim": self.bisim,
             "unfold": self.unfold,
+            "matrix": self.matrix,
             "eigen": self.eigen,
             "insert": self.insert,
         }
@@ -168,6 +204,23 @@ class Entry:
     node_id: int
 
 
+@dataclass(slots=True)
+class _PendingFeature:
+    """A cache miss awaiting the batched eigensolve.
+
+    Carries everything the flush needs to finish the feature: the
+    vertex to memoize on, the matrix to solve, and the signature to
+    store the result under (``None`` when no cache is attached).
+    """
+
+    vertex: BisimVertex
+    label: str
+    matrix: np.ndarray
+    size: int
+    signature: bytes | None = None
+    key: FeatureKey | None = None
+
+
 class EntryGenerator:
     """Generates index entries for documents under one shared encoder."""
 
@@ -179,6 +232,7 @@ class EntryGenerator:
         max_pattern_vertices: int = 800,
         max_unfolding_opens: int = 20000,
         cache: FeatureCache | None = None,
+        solver: str | None = None,
     ) -> None:
         self.encoder = encoder
         self.depth_limit = depth_limit
@@ -186,10 +240,17 @@ class EntryGenerator:
         self.max_pattern_vertices = max_pattern_vertices
         self.max_unfolding_opens = max_unfolding_opens
         self.cache = cache
+        self.solver = resolve_solver(solver)
         self.stats = ConstructionStats()
         self.timings = PhaseTimings()
         #: per-document (vid, depth) → signature memo for the cache path.
         self._sig_memo: dict[tuple[int, int], bytes] = {}
+        #: the batch queue: misses awaiting the stacked eigensolve, with
+        #: vid/signature indexes so repeats join the in-flight feature
+        #: instead of re-queueing the same matrix.
+        self._pending: list[_PendingFeature] = []
+        self._pending_by_vid: dict[int, _PendingFeature] = {}
+        self._pending_by_sig: dict[bytes, _PendingFeature] = {}
 
     # ------------------------------------------------------------------ #
     # Entry streams
@@ -234,6 +295,8 @@ class EntryGenerator:
         # Builder vids restart per document, so the signature memo must
         # not leak across documents.
         self._sig_memo = {}
+        batched = self.solver != SOLVER_LEGACY
+        staged: list[tuple[FeatureKey | _PendingFeature, int]] = []
         builder = BisimGraphBuilder(text_label=self.text_label)
         for event in tree_events(
             document.root, include_text=self.text_label is not None
@@ -244,12 +307,25 @@ class EntryGenerator:
                 # vertex's children are final, so its depth-L view is
                 # computable immediately.
                 vertex, start_ptr = closed
-                key = self._vertex_features(vertex)
                 self.stats.entries += 1
-                yield Entry(key, start_ptr)
+                if batched:
+                    # Misses join the batch queue; the entry is staged
+                    # against the (possibly pending) feature and yielded
+                    # after the end-of-document flush.
+                    staged.append((self._vertex_features_batched(vertex), start_ptr))
+                else:
+                    yield Entry(self._vertex_features(vertex), start_ptr)
         graph = builder.finish()
         self.stats.bisim_vertices += graph.vertex_count()
         self.stats.per_document_vertices.append(graph.vertex_count())
+        if batched:
+            self._flush_eigen_batch()
+            for feature, start_ptr in staged:
+                if isinstance(feature, _PendingFeature):
+                    assert feature.key is not None  # set by the flush
+                    yield Entry(feature.key, start_ptr)
+                else:
+                    yield Entry(feature, start_ptr)
 
     # ------------------------------------------------------------------ #
     # Feature extraction with memoization, caching, and fallback
@@ -291,6 +367,109 @@ class EntryGenerator:
         vertex.eigs = key
         return key
 
+    def _vertex_features_batched(
+        self, vertex: BisimVertex
+    ) -> FeatureKey | _PendingFeature:
+        """The batch-queue variant of :meth:`_vertex_features`.
+
+        Resolved features (memoized, cached, or the oversized fallback)
+        come back as :class:`FeatureKey`\\ s immediately; a genuine miss
+        contributes its matrix to the queue and returns the
+        :class:`_PendingFeature` whose ``key`` the end-of-document
+        :meth:`_flush_eigen_batch` fills in.  Repeats of an in-flight
+        vertex (or, with a cache, of an in-flight signature) join the
+        existing pending feature, preserving the solve-once-per-class
+        accounting of Algorithm 1.
+        """
+        if vertex.eigs is not None:
+            return vertex.eigs
+        pending = self._pending_by_vid.get(vertex.vid)
+        if pending is not None:
+            return pending
+        signature = None
+        if self.cache is not None:
+            signature = depth_signature(vertex, self.depth_limit, self._sig_memo)
+            pending = self._pending_by_sig.get(signature)
+            if pending is not None:
+                # A distinct vertex whose depth-L view is already queued:
+                # an in-flight hit (the legacy path would have stored and
+                # re-read it by now, so it counts as a cache hit).
+                self.stats.cache_hits += 1
+                self._pending_by_vid[vertex.vid] = pending
+                return pending
+            cached = self.cache.lookup(signature)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                vertex.eigs = cached
+                return cached
+            self.stats.cache_misses += 1
+        started = time.perf_counter()
+        try:
+            pattern = depth_limited_graph(
+                vertex, self.depth_limit, max_opens=self.max_unfolding_opens
+            )
+        except PatternTooLargeError:
+            self.timings.unfold += time.perf_counter() - started
+            self.stats.oversized_patterns += 1
+            key = FeatureKey(vertex.label, ALL_COVERING_RANGE)
+            vertex.eigs = key
+            return key
+        self.timings.unfold += time.perf_counter() - started
+        started = time.perf_counter()
+        try:
+            matrix = pattern_matrix(
+                pattern, self.encoder, max_vertices=self.max_pattern_vertices
+            )
+        except PatternTooLargeError:
+            self.timings.matrix += time.perf_counter() - started
+            self.stats.oversized_patterns += 1
+            # Cap artifact, not a pattern feature: never cached.
+            key = FeatureKey(vertex.label, ALL_COVERING_RANGE)
+            vertex.eigs = key
+            return key
+        self.timings.matrix += time.perf_counter() - started
+        pending = _PendingFeature(
+            vertex=vertex,
+            label=pattern.root.label,
+            matrix=matrix,
+            size=pattern.vertex_count(),
+            signature=signature,
+        )
+        self._pending.append(pending)
+        self._pending_by_vid[vertex.vid] = pending
+        if signature is not None:
+            self._pending_by_sig[signature] = pending
+        return pending
+
+    def _flush_eigen_batch(self) -> None:
+        """Solve every queued miss with one stacked call per dimension
+        bucket, memoize/cache the resulting keys, and clear the queue."""
+        pending = self._pending
+        if not pending:
+            return
+        started = time.perf_counter()
+        ranges, buckets = solve_batch(
+            [item.matrix for item in pending], solver=self.solver
+        )
+        self.timings.eigen += time.perf_counter() - started
+        self.stats.eigen_computations += len(pending)
+        self.stats.eigen_batches += len(buckets)
+        for batch_size in buckets.values():
+            self.stats.eigen_batch_sizes[batch_size] = (
+                self.stats.eigen_batch_sizes.get(batch_size, 0) + 1
+            )
+        for item, (lmin, lmax) in zip(pending, ranges):
+            key = FeatureKey(item.label, FeatureRange(lmin, lmax))
+            item.key = key
+            item.vertex.eigs = key
+            if item.size > self.stats.largest_pattern:
+                self.stats.largest_pattern = item.size
+            if self.cache is not None and item.signature is not None:
+                self.cache.store(item.signature, key)
+        self._pending = []
+        self._pending_by_vid = {}
+        self._pending_by_sig = {}
+
     def _features_of_graph(
         self, graph, signature: bytes | None = None
     ) -> FeatureKey:
@@ -311,15 +490,19 @@ class EntryGenerator:
             self.stats.cache_misses += 1
         started = time.perf_counter()
         try:
-            key = pattern_features(
+            matrix = pattern_matrix(
                 graph, self.encoder, max_vertices=self.max_pattern_vertices
             )
         except PatternTooLargeError:
-            self.timings.eigen += time.perf_counter() - started
+            self.timings.matrix += time.perf_counter() - started
             self.stats.oversized_patterns += 1
             # Cap artifact, not a pattern feature: never cached.
             return FeatureKey(graph.root.label, ALL_COVERING_RANGE)
+        self.timings.matrix += time.perf_counter() - started
+        started = time.perf_counter()
+        lmin, lmax = eigenvalue_range(matrix, solver=self.solver)
         self.timings.eigen += time.perf_counter() - started
+        key = FeatureKey(graph.root.label, FeatureRange(lmin, lmax))
         self.stats.eigen_computations += 1
         if size > self.stats.largest_pattern:
             self.stats.largest_pattern = size

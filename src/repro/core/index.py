@@ -43,6 +43,7 @@ from repro.spectral import (
     FeatureKey,
     FeatureRange,
     pattern_features,
+    resolve_solver,
 )
 from repro.errors import PatternTooLargeError
 from repro.spectral.features import ALL_COVERING_RANGE
@@ -83,6 +84,14 @@ class FixIndexConfig:
             range scan) or ``"rtree"`` (per-label R-trees answering
             the containment predicate as a 2-D dominance query,
             DESIGN.md §8).  Both produce identical candidate sets.
+        eigen_solver: spectral solver for build- and query-side
+            feature extraction — ``"real"`` (the batched real-arithmetic
+            kernel, DESIGN.md §9) or ``"legacy"`` (the seed's
+            per-pattern complex Hermitian ``eigvalsh``, kept for A/B
+            verification).  ``None`` resolves the process default
+            (``REPRO_SPECTRAL_SOLVER`` environment variable, else
+            ``"real"``).  Both solvers agree within 1e-9, inside the
+            guard band, so answers are identical either way.
     """
 
     depth_limit: int = 0
@@ -94,6 +103,7 @@ class FixIndexConfig:
     workers: int = 1
     feature_cache: bool = True
     prune_backend: str = "btree"
+    eigen_solver: str | None = None
 
     def __post_init__(self) -> None:
         if self.prune_backend not in ("btree", "rtree"):
@@ -101,6 +111,8 @@ class FixIndexConfig:
                 f"unknown prune backend {self.prune_backend!r} "
                 "(expected 'btree' or 'rtree')"
             )
+        if self.eigen_solver is not None:
+            resolve_solver(self.eigen_solver)  # validates the name
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +135,10 @@ class BuildReport:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     btree_bytes: int = 0
     clustered_bytes: int = 0
+    #: the resolved spectral solver the build ran under ("real" or
+    #: "legacy"); batch counts live in ``stats.eigen_batches`` /
+    #: ``stats.eigen_batch_sizes``.
+    eigen_solver: str = "real"
 
 
 class FixIndex:
@@ -144,6 +160,9 @@ class FixIndex:
         )
         self.clustered_store = ClusteredStore() if self.config.clustered else None
         self.feature_cache = FeatureCache() if self.config.feature_cache else None
+        #: the resolved spectral solver (config choice, else the
+        #: process default), shared by build and query feature paths.
+        self.eigen_solver = resolve_solver(self.config.eigen_solver)
         self._generator = EntryGenerator(
             self.encoder,
             self.config.depth_limit,
@@ -151,9 +170,12 @@ class FixIndex:
             max_pattern_vertices=self.config.max_pattern_vertices,
             max_unfolding_opens=self.config.max_unfolding_opens,
             cache=self.feature_cache,
+            solver=self.eigen_solver,
         )
         self.report = BuildReport(
-            stats=self._generator.stats, timings=self._generator.timings
+            stats=self._generator.stats,
+            timings=self._generator.timings,
+            eigen_solver=self.eigen_solver,
         )
         #: bumped by every mutation (add/remove document); query plans
         #: and spatial views cache against it.
@@ -226,6 +248,7 @@ class FixIndex:
                 max_unfolding_opens=self.config.max_unfolding_opens,
                 feature_cache=self.config.feature_cache,
                 doc_ids=doc_ids,
+                eigen_solver=self.eigen_solver,
             )
             self._generator.stats.merge(staged.stats)
             self._generator.timings.merge(staged.timings)
@@ -233,6 +256,7 @@ class FixIndex:
 
         staged: list[tuple[bytes, int, int]] = []
         unfold_before = timings.unfold
+        matrix_before = timings.matrix
         eigen_before = timings.eigen
         generate_seconds = 0.0
         for doc_id in doc_ids:
@@ -247,6 +271,7 @@ class FixIndex:
             0.0,
             generate_seconds
             - (timings.unfold - unfold_before)
+            - (timings.matrix - matrix_before)
             - (timings.eigen - eigen_before),
         )
         return staged
@@ -350,6 +375,7 @@ class FixIndex:
             max_pattern_vertices=self.config.max_pattern_vertices,
             max_unfolding_opens=self.config.max_unfolding_opens,
             cache=self.feature_cache,
+            solver=self.eigen_solver,
         )
         removed = 0
         for entry in shadow.entries_for(document):
@@ -391,7 +417,10 @@ class FixIndex:
         pattern = twig.pattern(text_label=self.value_hasher)
         try:
             return pattern_features(
-                pattern, self.encoder, max_vertices=self.config.max_pattern_vertices
+                pattern,
+                self.encoder,
+                max_vertices=self.config.max_pattern_vertices,
+                solver=self.eigen_solver,
             )
         except PatternTooLargeError:
             # An absurdly large query: fall back to the always-covered

@@ -56,7 +56,7 @@ from repro.core.construction import (
     PhaseTimings,
 )
 from repro.core.values import ValueHasher
-from repro.spectral import EdgeLabelEncoder, FeatureCache
+from repro.spectral import EdgeLabelEncoder, FeatureCache, resolve_solver
 from repro.storage import PrimaryXMLStore
 from repro.xmltree import parse_xml
 
@@ -85,6 +85,9 @@ class _WorkerTask:
     max_pattern_vertices: int
     max_unfolding_opens: int
     feature_cache: bool
+    #: resolved spectral solver ("real"/"legacy"); resolved by the
+    #: coordinator so every worker ignores its own environment.
+    eigen_solver: str
     #: (doc_id, serialized XML) in doc_id order.
     documents: tuple[tuple[int, str], ...]
 
@@ -102,6 +105,7 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
         max_pattern_vertices=task.max_pattern_vertices,
         max_unfolding_opens=task.max_unfolding_opens,
         cache=FeatureCache() if task.feature_cache else None,
+        solver=task.eigen_solver,
     )
     entries: list[StagedEntry] = []
     generate_seconds = 0.0
@@ -124,7 +128,11 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
             )
         generate_seconds += time.perf_counter() - started
     generator.timings.bisim += max(
-        0.0, generate_seconds - generator.timings.unfold - generator.timings.eigen
+        0.0,
+        generate_seconds
+        - generator.timings.unfold
+        - generator.timings.matrix
+        - generator.timings.eigen,
     )
     # Returning the worker's encoder lets the coordinator verify the
     # no-drift invariant; a complete pre-seed makes this a no-op merge.
@@ -143,6 +151,7 @@ def parallel_stage(
     max_unfolding_opens: int = 20000,
     feature_cache: bool = True,
     doc_ids: list[int] | None = None,
+    eigen_solver: str | None = None,
 ) -> StagedBuild:
     """Stage every document of ``store`` across ``workers`` processes.
 
@@ -155,6 +164,7 @@ def parallel_stage(
     serial staging order (doc_id order, generation order within a doc).
     """
     ids = list(store.doc_ids()) if doc_ids is None else list(doc_ids)
+    solver = resolve_solver(eigen_solver)
     workers = max(1, min(workers, len(ids)))
     chunk_size = (len(ids) + workers - 1) // workers
     chunks = [ids[i : i + chunk_size] for i in range(0, len(ids), chunk_size)]
@@ -172,6 +182,7 @@ def parallel_stage(
                 max_pattern_vertices=max_pattern_vertices,
                 max_unfolding_opens=max_unfolding_opens,
                 feature_cache=feature_cache,
+                eigen_solver=solver,
                 documents=documents,
             )
         )

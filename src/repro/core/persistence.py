@@ -54,6 +54,7 @@ def save_index(index: FixIndex, directory: str) -> None:
             "workers": index.config.workers,
             "feature_cache": index.config.feature_cache,
             "prune_backend": index.config.prune_backend,
+            "eigen_solver": index.config.eigen_solver,
         },
         "encoder": index.encoder.to_dict(),
         "btree": {
@@ -68,6 +69,14 @@ def save_index(index: FixIndex, directory: str) -> None:
             "oversized_patterns": index.report.stats.oversized_patterns,
             "cache_hits": index.report.stats.cache_hits,
             "cache_misses": index.report.stats.cache_misses,
+            "eigen_solver": index.report.eigen_solver,
+            "eigen_batches": index.report.stats.eigen_batches,
+            "eigen_batch_sizes": {
+                str(size): count
+                for size, count in sorted(
+                    index.report.stats.eigen_batch_sizes.items()
+                )
+            },
             "phases": index.report.timings.as_dict(),
         },
     }
@@ -130,6 +139,12 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
     # Additive report fields (absent in indexes saved by older builds).
     index.report.stats.cache_hits = report.get("cache_hits", 0)
     index.report.stats.cache_misses = report.get("cache_misses", 0)
+    index.report.eigen_solver = report.get("eigen_solver", index.eigen_solver)
+    index.report.stats.eigen_batches = report.get("eigen_batches", 0)
+    index.report.stats.eigen_batch_sizes = {
+        int(size): count
+        for size, count in report.get("eigen_batch_sizes", {}).items()
+    }
     for phase, seconds in report.get("phases", {}).items():
         setattr(index.report.timings, phase, seconds)
     index.report.btree_bytes = index.btree.size_bytes()

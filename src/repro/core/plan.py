@@ -4,8 +4,11 @@ Algorithm 2's lines 1-5 — parse the path expression, decompose it at
 interior ``//`` edges, extract each pruning fragment's feature key —
 are pure functions of the query text and the index's encoder, yet they
 contain the query side's only O(n³) step (the eigensolve inside
-:meth:`FixIndex.query_features`).  A :class:`QueryPlan` captures that
-work once; a :class:`PlanCache` memoizes plans per (query source, index
+:meth:`FixIndex.query_features`, which runs on the index's configured
+spectral solver — the real-arithmetic kernel of :mod:`repro.spectral.kernel`
+by default, so build- and query-side ranges come from the same
+arithmetic).  A :class:`QueryPlan` captures that work once; a
+:class:`PlanCache` memoizes plans per (query source, index
 generation), so repeated queries pay only the pruning scan and the
 refinement.
 

@@ -1,20 +1,25 @@
-"""Eigenvalue extraction via the Hermitian trick (Section 3.3).
+"""Eigenvalue extraction for anti-symmetric pattern matrices.
 
-A real anti-symmetric matrix ``M`` has a purely imaginary spectrum; the
-paper's Theorem 3 proof multiplies by the imaginary unit to obtain the
-Hermitian matrix ``iM`` whose spectrum is the imaginary parts — real
-numbers that can be compared.  ``numpy.linalg.eigvalsh`` on ``iM`` is the
-workhorse here (the O(n^3) dense symmetric eigenproblem the paper's cost
-analysis cites).
+The paper's Theorem 3 proof multiplies the real anti-symmetric ``M`` by
+the imaginary unit to obtain the Hermitian ``iM`` whose spectrum is
+real; the seed implemented exactly that (``numpy.linalg.eigvalsh`` on
+``1j * M`` — the O(n³) dense symmetric eigenproblem of the paper's cost
+analysis).  Because ``M`` is real anti-symmetric, its eigenvalues come
+in conjugate pairs ``±iσ_j`` where the ``σ_j`` are the *singular
+values* of ``M``, so the same quantities are computable in pure real
+arithmetic — closed forms for ``n ≤ 3``, a real symmetric Gram eigensolve otherwise — and
+``λ_min = -λ_max`` holds exactly.  That real kernel
+(:mod:`repro.spectral.kernel`, DESIGN.md §9) is the default solver
+here; the legacy complex path stays selectable per call, per index
+(``FixIndexConfig.eigen_solver``), or via ``REPRO_SPECTRAL_SOLVER``
+for A/B verification.
 
-A consequence worth documenting (see DESIGN.md §5 and the feature
-ablation benchmark): because ``M`` is *real* anti-symmetric, its
-eigenvalues come in conjugate pairs ``±iμ``, so the spectrum of ``iM`` is
-symmetric about zero and ``λ_min = -λ_max`` always.  The paper's
-``(λ_min, λ_max)`` pair therefore carries one real degree of freedom; we
-keep both components for interface fidelity, and the ablation bench
-quantifies what a richer feature (a spectrum prefix with subset testing,
-which the paper sketches in §3.3) would buy.
+A consequence worth documenting (see the feature ablation benchmark):
+since the spectrum is symmetric about zero, the paper's ``(λ_min,
+λ_max)`` pair carries one real degree of freedom; we keep both
+components for interface fidelity, and the ablation bench quantifies
+what a richer feature (a spectrum prefix with subset testing, sketched
+in §3.3) would buy.
 """
 
 from __future__ import annotations
@@ -23,6 +28,14 @@ import numpy as np
 
 from repro.bisim.graph import BisimGraph
 from repro.spectral.encoding import EdgeLabelEncoder
+from repro.spectral.kernel import (
+    SOLVER_LEGACY,
+    legacy_range,
+    legacy_spectrum,
+    real_spectrum,
+    resolve_solver,
+    singular_range,
+)
 from repro.spectral.matrix import pattern_matrix
 
 
@@ -31,49 +44,63 @@ def hermitian_of(matrix: np.ndarray) -> np.ndarray:
     return 1j * matrix
 
 
-def spectrum(matrix: np.ndarray) -> np.ndarray:
+def spectrum(matrix: np.ndarray, solver: str | None = None) -> np.ndarray:
     """Full real spectrum of anti-symmetric ``matrix``, ascending.
 
-    These are the eigenvalues of ``iM`` — equivalently the imaginary
-    parts of the eigenvalues of ``M`` — computed with the symmetric
-    eigensolver.
+    These are the eigenvalues of ``iM`` — equivalently ``±σ_j`` for the
+    singular values ``σ_j`` of ``M`` — via the configured solver.
     """
     if matrix.shape[0] == 0:
         return np.zeros(0, dtype=np.float64)
-    return np.linalg.eigvalsh(hermitian_of(matrix)).real
+    if resolve_solver(solver) == SOLVER_LEGACY:
+        return legacy_spectrum(matrix)
+    return real_spectrum(matrix)
 
 
-def eigenvalue_range(matrix: np.ndarray) -> tuple[float, float]:
+def eigenvalue_range(
+    matrix: np.ndarray, solver: str | None = None
+) -> tuple[float, float]:
     """``(λ_min, λ_max)`` of anti-symmetric ``matrix``.
+
+    Exactly symmetric — ``λ_min == -λ_max`` — for both solvers: the
+    real kernel returns ``(-σ_max, +σ_max)`` by construction, and the
+    legacy path symmetrizes the floating-point ``eigvalsh`` extremes at
+    this API boundary (they can disagree in the last ulp even though
+    theory guarantees symmetry).
 
     A 0x0 or 1x1 (single vertex, edgeless) pattern has the degenerate
     range ``(0.0, 0.0)``, which — correctly — is contained in every
     indexed range, since a single labeled node can be a subpattern of
     anything with a matching label.
     """
-    values = spectrum(matrix)
-    if values.size == 0:
-        return 0.0, 0.0
-    return float(values[0]), float(values[-1])
+    if resolve_solver(solver) == SOLVER_LEGACY:
+        return legacy_range(matrix)
+    return singular_range(matrix)
 
 
 def graph_eigenvalue_range(
     graph: BisimGraph,
     encoder: EdgeLabelEncoder,
     max_vertices: int | None = None,
+    solver: str | None = None,
 ) -> tuple[float, float]:
     """Convenience: matrix construction + :func:`eigenvalue_range`.
 
     Raises:
         PatternTooLargeError: when the graph exceeds ``max_vertices``.
     """
-    return eigenvalue_range(pattern_matrix(graph, encoder, max_vertices=max_vertices))
+    return eigenvalue_range(
+        pattern_matrix(graph, encoder, max_vertices=max_vertices), solver=solver
+    )
 
 
 def graph_spectrum(
     graph: BisimGraph,
     encoder: EdgeLabelEncoder,
     max_vertices: int | None = None,
+    solver: str | None = None,
 ) -> np.ndarray:
     """Convenience: matrix construction + :func:`spectrum`."""
-    return spectrum(pattern_matrix(graph, encoder, max_vertices=max_vertices))
+    return spectrum(
+        pattern_matrix(graph, encoder, max_vertices=max_vertices), solver=solver
+    )

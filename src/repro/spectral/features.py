@@ -81,15 +81,22 @@ def pattern_features(
     graph: BisimGraph,
     encoder: EdgeLabelEncoder,
     max_vertices: int | None = None,
+    solver: str | None = None,
 ) -> FeatureKey:
     """Extract the :class:`FeatureKey` of a twig pattern.
+
+    ``solver`` selects the eigensolver (``"real"``/``"legacy"``, see
+    :mod:`repro.spectral.kernel`); ``None`` resolves the process
+    default.
 
     Raises:
         PatternTooLargeError: when the graph exceeds ``max_vertices``
             (callers in index construction catch this and substitute
             :data:`ALL_COVERING_RANGE`).
     """
-    lmin, lmax = graph_eigenvalue_range(graph, encoder, max_vertices=max_vertices)
+    lmin, lmax = graph_eigenvalue_range(
+        graph, encoder, max_vertices=max_vertices, solver=solver
+    )
     return FeatureKey(graph.root.label, FeatureRange(lmin, lmax))
 
 

@@ -55,12 +55,23 @@ def pattern_matrix(
     signatures: dict[int, bytes] = {}
     vertices.sort(key=lambda vertex: (vertex_signature(vertex, signatures), vertex.vid))
     index_of = {vertex.vid: i for i, vertex in enumerate(vertices)}
-    matrix = np.zeros((n, n), dtype=np.float64)
+    # Edge gathering stays in Python (the encoder is a Python dict) but
+    # the n² matrix writes are fancy-indexed in one shot each way.
+    rows: list[int] = []
+    cols: list[int] = []
+    weights: list[int] = []
     for parent in vertices:
         i = index_of[parent.vid]
+        label = parent.label
         for child in parent.children:
-            j = index_of[child.vid]
-            weight = float(encoder.encode(parent.label, child.label))
-            matrix[i, j] = weight
-            matrix[j, i] = -weight
+            rows.append(i)
+            cols.append(index_of[child.vid])
+            weights.append(encoder.encode(label, child.label))
+    matrix = np.zeros((n, n), dtype=np.float64)
+    if rows:
+        i = np.asarray(rows, dtype=np.intp)
+        j = np.asarray(cols, dtype=np.intp)
+        w = np.asarray(weights, dtype=np.float64)
+        matrix[i, j] = w
+        matrix[j, i] = -w
     return matrix

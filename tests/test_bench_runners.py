@@ -53,7 +53,8 @@ class TestTable1Runner:
             assert row.clustered_bytes > row.unclustered_bytes > 0
             # Phase breakdown rides along with the headline ICT number.
             assert set(row.phase_seconds) == {
-                "parse", "encode", "bisim", "unfold", "eigen", "insert"
+                "parse", "encode", "bisim", "unfold", "matrix", "eigen",
+                "insert"
             }
             assert row.phase_seconds["eigen"] > 0
             assert 0.0 <= row.eigen_share <= 1.0
