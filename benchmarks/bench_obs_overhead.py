@@ -1,0 +1,228 @@
+"""Observability overhead benchmark: tracing enabled vs disabled.
+
+The ``repro.obs`` layer promises that *disabled* observability is close
+to free: the metrics registry replaces bookkeeping the pipelines already
+did, and every disabled span site costs one attribute check plus the
+cached :data:`repro.obs.NOOP_SPAN` singleton's no-op ``__enter__`` /
+``__exit__``.  This benchmark measures that promise from three angles:
+
+* **build** — time ``FixIndex.build`` over a repetitive corpus with
+  tracing off and with tracing on, and report the enabled-mode
+  overhead % (the price of *opting in*);
+* **query** — run a 100-query batch against both indexes and report the
+  same split, verifying the answers are pointer-identical;
+* **no-op microbenchmark** — time the disabled ``tracer.span()`` call
+  directly, then bound disabled-mode overhead as
+  ``span sites x ns-per-site / build seconds``, which must stay under
+  the 2 % budget (the number CI asserts).
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py [--quick]
+        [--out BENCH_obs.json]
+
+writes ``BENCH_obs.json`` at the repository root with the raw timings
+and the budget verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor
+from repro.obs import ObsConfig, Tracer
+
+try:  # script-style sibling import; package-style under pytest
+    from bench_build_pipeline import btree_digest, build_corpus
+except ImportError:  # pragma: no cover
+    from benchmarks.bench_build_pipeline import btree_digest, build_corpus
+
+#: disabled-mode overhead must stay under this fraction of build time.
+BUDGET_PCT = 2.0
+
+QUERIES = (
+    "//para//text",
+    "//item",
+    "/book/note",
+    "//entry//text",
+    "//ref",
+)
+
+
+def time_build(store, depth_limit: int, trace: bool, repeats: int):
+    """Best-of-N build wall time (and the index from the last run)."""
+    best = float("inf")
+    index = None
+    for _ in range(repeats):
+        config = FixIndexConfig(
+            depth_limit=depth_limit, obs=ObsConfig(trace=trace)
+        )
+        started = time.perf_counter()
+        index = FixIndex.build(store, config)
+        best = min(best, time.perf_counter() - started)
+    return best, index
+
+
+def time_queries(index: FixIndex, count: int):
+    """Total wall time of a ``count``-query batch, plus the answers."""
+    processor = FixQueryProcessor(index)
+    answers = []
+    started = time.perf_counter()
+    for i in range(count):
+        answers.append(processor.query(QUERIES[i % len(QUERIES)]).results)
+    return time.perf_counter() - started, answers
+
+
+def noop_span_ns(iterations: int = 200_000) -> float:
+    """Nanoseconds per disabled-mode instrumentation site."""
+    tracer = Tracer(enabled=False)
+    span = tracer.span  # the attribute fetch a call site pays
+    started = time.perf_counter_ns()
+    for _ in range(iterations):
+        with span("x"):
+            pass
+    return (time.perf_counter_ns() - started) / iterations
+
+
+def overhead_pct(enabled: float, disabled: float) -> float:
+    return (enabled - disabled) / disabled * 100.0 if disabled else 0.0
+
+
+def run_benchmark(
+    documents: int, chains: int, depth: int, seed: int,
+    queries: int, repeats: int,
+) -> dict:
+    store = build_corpus(documents, chains, depth, seed)
+    doc_ids = list(store.doc_ids())
+    print(f"corpus: {len(doc_ids)} documents, depth {depth}")
+
+    disabled_s, plain = time_build(store, depth, trace=False, repeats=repeats)
+    enabled_s, traced = time_build(store, depth, trace=True, repeats=repeats)
+    span_events = sum(
+        1 for e in traced.obs.tracer.events if e.get("type") == "span"
+    )
+    build_overhead = overhead_pct(enabled_s, disabled_s)
+    print(
+        f"build: disabled {disabled_s:.3f}s, enabled {enabled_s:.3f}s "
+        f"({build_overhead:+.1f}%, {span_events} spans)"
+    )
+
+    identical = btree_digest(plain) == btree_digest(traced)
+    print(f"B-tree contents identical with tracing on: {identical}")
+
+    query_disabled_s, plain_answers = time_queries(plain, queries)
+    query_enabled_s, traced_answers = time_queries(traced, queries)
+    answers_match = plain_answers == traced_answers
+    query_overhead = overhead_pct(query_enabled_s, query_disabled_s)
+    print(
+        f"query x{queries}: disabled {query_disabled_s:.3f}s, "
+        f"enabled {query_enabled_s:.3f}s ({query_overhead:+.1f}%), "
+        f"answers match: {answers_match}"
+    )
+
+    ns_per_site = noop_span_ns()
+    # Disabled-mode bound: every span the enabled build captured was a
+    # no-op site in the disabled build.  Their total cost as a share of
+    # the disabled build is the measured disabled-mode overhead.
+    disabled_overhead = (
+        span_events * ns_per_site / (disabled_s * 1e9) * 100.0
+        if disabled_s
+        else 0.0
+    )
+    print(
+        f"no-op span: {ns_per_site:.0f}ns/site -> disabled-mode overhead "
+        f"{disabled_overhead:.3f}% of build (budget {BUDGET_PCT}%)"
+    )
+
+    return {
+        "corpus": {
+            "documents": documents,
+            "chains_per_document": chains,
+            "depth": depth,
+            "seed": seed,
+        },
+        "build": {
+            "disabled_seconds": disabled_s,
+            "enabled_seconds": enabled_s,
+            "overhead_pct": build_overhead,
+            "span_events": span_events,
+            "byte_identical": identical,
+        },
+        "query": {
+            "count": queries,
+            "disabled_seconds": query_disabled_s,
+            "enabled_seconds": query_enabled_s,
+            "overhead_pct": query_overhead,
+            "answers_match": answers_match,
+        },
+        "noop_span": {
+            "ns_per_site": ns_per_site,
+            "disabled_overhead_pct": disabled_overhead,
+        },
+        "budget_pct": BUDGET_PCT,
+        "within_budget": disabled_overhead < BUDGET_PCT,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny corpus smoke run (CI still asserts the budget)",
+    )
+    parser.add_argument("--documents", type=int, default=None)
+    parser.add_argument("--chains", type=int, default=None)
+    parser.add_argument("--depth", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="build repetitions per mode (best-of)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output JSON path (default: BENCH_obs.json at the repo "
+        "root; quick runs print only unless --out is set)",
+    )
+    args = parser.parse_args(argv)
+
+    documents = args.documents or (4 if args.quick else 10)
+    chains = args.chains or (2 if args.quick else 3)
+    depth = args.depth or (8 if args.quick else 18)
+    repeats = args.repeats or (1 if args.quick else 3)
+    report = run_benchmark(
+        documents, chains, depth, args.seed, args.queries, repeats
+    )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(os.path.dirname(__file__), "..", "BENCH_obs.json")
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {os.path.abspath(out)}")
+
+    failed = False
+    if not report["build"]["byte_identical"]:
+        print("FAIL: tracing perturbed the B-tree contents")
+        failed = True
+    if not report["query"]["answers_match"]:
+        print("FAIL: tracing perturbed the query answers")
+        failed = True
+    if not report["within_budget"]:
+        print(
+            f"FAIL: disabled-mode overhead "
+            f"{report['noop_span']['disabled_overhead_pct']:.3f}% "
+            f"exceeds the {BUDGET_PCT}% budget"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

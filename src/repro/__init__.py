@@ -35,6 +35,7 @@ from repro.core import (
 )
 from repro.core.optimizer import AccessPath, CostModel, QueryOptimizer
 from repro.core.persistence import load_index, save_index
+from repro.obs import MetricsRegistry, Obs, ObsConfig, Tracer
 from repro.spatial import SpatialFeatureIndex
 from repro.engine import NavigationalEngine, StructuralJoinEngine
 from repro.errors import ReproError
@@ -89,8 +90,12 @@ __all__ = [
     "FixIndexConfig",
     "FixQueryProcessor",
     "FixQueryResult",
+    "MetricsRegistry",
     "NavigationalEngine",
     "NodePointer",
+    "Obs",
+    "ObsConfig",
+    "Tracer",
     "PlanCache",
     "PrimaryXMLStore",
     "PruningMetrics",

@@ -63,6 +63,15 @@ class BTreeStats:
             self.deletes - before.deletes,
         )
 
+    def publish(self, registry, prefix: str = "btree.") -> None:
+        """Sync these monotonic totals into a ``repro.obs`` registry
+        (idempotent delta-sync; see ``MetricsRegistry.sync_counter``)."""
+        registry.sync_counter(prefix + "node_visits", self.node_visits)
+        registry.sync_counter(prefix + "leaf_scans", self.leaf_scans)
+        registry.sync_counter(prefix + "splits", self.splits)
+        registry.sync_counter(prefix + "inserts", self.inserts)
+        registry.sync_counter(prefix + "deletes", self.deletes)
+
 
 @dataclass
 class _Slot:

@@ -6,15 +6,19 @@ Commands:
   primary store, build a FIX index, and save both to a directory.
 * ``query``  — run a path expression against a saved index; prints the
   matched units and the phase breakdown.
-* ``stats``  — summarize a saved index (entries, sizes, labels).
+* ``stats``  — summarize a saved index (entries, sizes, labels, caches).
 * ``datasets`` — list the built-in synthetic data sets.
 * ``bench``  — regenerate one of the paper's tables/figures.
+* ``trace``  — aggregate a JSONL trace (``--trace`` on build/query)
+  into the per-phase / per-query breakdown.
 
 Examples::
 
     python -m repro build --dataset xmark --scale 0.3 --out /tmp/idx \\
-        --depth-limit 6
-    python -m repro query /tmp/idx "//item[name]/mailbox"
+        --depth-limit 6 --trace /tmp/idx/trace.jsonl
+    python -m repro query /tmp/idx "//item[name]/mailbox" \\
+        --trace /tmp/idx/trace.jsonl
+    python -m repro trace /tmp/idx/trace.jsonl
     python -m repro stats /tmp/idx
     python -m repro bench table2 --scale 0.3
 """
@@ -86,6 +90,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prune-backend", choices=["btree", "rtree"], default="btree",
         help="default pruning backend baked into the index config",
     )
+    build.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a JSONL span trace of the build to PATH "
+        "(overwrites; inspect with 'repro trace PATH')",
+    )
 
     query = commands.add_parser("query", help="query a saved index")
     query.add_argument("index_dir", metavar="DIR")
@@ -115,9 +124,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the query K times (repetitions after the first hit "
         "the plan cache); timings are reported per run",
     )
+    query.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append a JSONL span trace of the run to PATH (build and "
+        "query traces can share one file)",
+    )
 
     stats = commands.add_parser("stats", help="summarize a saved index")
     stats.add_argument("index_dir", metavar="DIR")
+
+    trace = commands.add_parser(
+        "trace", help="aggregate a JSONL trace into a breakdown"
+    )
+    trace.add_argument("trace_file", metavar="TRACE")
+    trace.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="slowest queries to list (default 10)",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the breakdown as JSON"
+    )
 
     verify = commands.add_parser("verify", help="consistency-check a saved index")
     verify.add_argument("index_dir", metavar="DIR")
@@ -162,6 +188,8 @@ def _cmd_build(args: argparse.Namespace) -> int:
             print(f"loaded {path}")
         if depth_limit is None:
             depth_limit = 0
+    from repro.obs import ObsConfig
+
     config = FixIndexConfig(
         depth_limit=depth_limit,
         clustered=args.clustered,
@@ -170,6 +198,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         feature_cache=not args.no_cache,
         prune_backend=args.prune_backend,
         eigen_solver=args.eigen_solver,
+        obs=ObsConfig(trace=bool(args.trace), trace_path=args.trace),
     )
     started = time.perf_counter()
     index = FixIndex.build(store, config)
@@ -199,6 +228,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
             f"  eigen batches: {stats.eigen_batches} stacked solves "
             f"(size x calls: {histogram})"
         )
+    if args.trace:
+        written = index.obs.flush(args.trace)
+        print(f"  trace: {written} event(s) -> {args.trace}")
     return 0
 
 
@@ -209,15 +241,18 @@ def _open(index_dir: str) -> tuple[PrimaryXMLStore, FixIndex]:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import QueryMetricsLog
+    from repro.obs import Obs
 
     store, index = _open(args.index_dir)
-    log = QueryMetricsLog()
+    obs = Obs(trace=bool(args.trace))
+    log = QueryMetricsLog(registry=obs.registry)
     processor = FixQueryProcessor(
         index,
         workers=args.workers,
         plan_cache=not args.no_plan_cache,
         prune_backend=args.prune_backend,
         metrics_log=log,
+        obs=obs,
     )
     twig = twig_of(args.expression)
     for _ in range(max(1, args.repeat)):
@@ -251,6 +286,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"sel={metrics.sel:.2%} pp={metrics.pp:.2%} fpr={metrics.fpr:.2%} "
             f"false_negatives={metrics.false_negatives}"
         )
+    if args.trace:
+        written = obs.flush(args.trace, append=True)
+        print(f"trace: appended {written} event(s) -> {args.trace}")
     return 0
 
 
@@ -267,6 +305,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"  depth limit:    {config.depth_limit}")
     print(f"  value buckets:  {config.value_buckets}")
     print(f"  edge labels:    {len(index.encoder)}")
+    cache = index.report.cache_summary()
+    lookups = cache["hits"] + cache["misses"]
+    print(
+        f"  spectral cache: {cache['patterns']} patterns, "
+        f"{cache['hits']}/{lookups} hits ({cache['hit_rate']:.1%})"
+    )
+    counters = index.obs.registry.snapshot()["counters"]
+    plan_hits = counters.get("query.plan_cache.hits", 0.0)
+    plan_lookups = plan_hits + counters.get("query.plan_cache.misses", 0.0)
+    print(
+        f"  plan cache:     {plan_hits:.0f}/{plan_lookups:.0f} hits "
+        f"({plan_hits / plan_lookups if plan_lookups else 0.0:.1%} "
+        "this process)"
+    )
     labels: dict[str, int] = {}
     for entry in index.iter_entries():
         labels[entry.key.root_label] = labels.get(entry.key.root_label, 0) + 1
@@ -274,6 +326,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print("  top root labels:")
     for label, count in top:
         print(f"    {label:24s} {count}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import format_trace_report, summarize_trace_file
+
+    try:
+        summary = summarize_trace_file(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary.as_dict(args.top), indent=2, sort_keys=True))
+    else:
+        print(format_trace_report(summary, top=args.top))
     return 0
 
 
@@ -339,6 +408,7 @@ def main(argv: list[str] | None = None) -> int:
         "build": _cmd_build,
         "query": _cmd_query,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "verify": _cmd_verify,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,

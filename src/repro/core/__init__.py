@@ -20,6 +20,7 @@ from repro.core.metrics import (
     QueryMetricsLog,
     QueryRecord,
     evaluate_pruning,
+    publish_query_metrics,
 )
 from repro.core.optimizer import AccessPath, CostModel, ExplainedPlan, QueryOptimizer
 from repro.core.persistence import load_index, save_index
@@ -50,6 +51,7 @@ __all__ = [
     "ValueHasher",
     "build_plan",
     "evaluate_pruning",
+    "publish_query_metrics",
     "VerificationReport",
     "verify_index",
 ]

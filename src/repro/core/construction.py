@@ -47,6 +47,7 @@ import numpy as np
 from repro.errors import PatternTooLargeError
 from repro.bisim import BisimGraphBuilder, depth_limited_graph, depth_signature
 from repro.bisim.graph import BisimVertex
+from repro.obs import MetricsRegistry, Obs
 from repro.spectral import (
     ALL_COVERING_RANGE,
     SOLVER_LEGACY,
@@ -111,8 +112,36 @@ class ConstructionStats:
             )
         self.per_document_vertices.extend(other.per_document_vertices)
 
+    def publish(self, registry: MetricsRegistry) -> None:
+        """Sync these running totals into ``registry`` counters.
 
-@dataclass
+        Idempotent (the registry syncs by delta), so callers publish at
+        every phase boundary — end of build, after ``add_document`` /
+        ``remove_document`` — and the registry stays a faithful view of
+        the stats without per-vertex counter traffic on the hot path.
+        """
+        registry.sync_counter("build.entries", self.entries)
+        registry.sync_counter("build.documents", self.documents)
+        registry.sync_counter("build.bisim_vertices", self.bisim_vertices)
+        registry.sync_counter("build.cache.hits", self.cache_hits)
+        registry.sync_counter("build.cache.misses", self.cache_misses)
+        registry.sync_counter(
+            "build.eigen.computations", self.eigen_computations
+        )
+        registry.sync_counter("build.eigen.batches", self.eigen_batches)
+        registry.sync_counter(
+            "build.oversized_patterns", self.oversized_patterns
+        )
+        for size, count in self.eigen_batch_sizes.items():
+            registry.sync_counter(f"build.eigen.batch_size.{size}", count)
+
+
+#: the Table-1 phases, in presentation order.
+BUILD_PHASES = ("parse", "encode", "bisim", "unfold", "matrix", "eigen", "insert")
+#: registry counter prefix the phase accumulators live under.
+PHASE_COUNTER_PREFIX = "build.phase_seconds."
+
+
 class PhaseTimings:
     """Wall-clock breakdown of one build (seconds per phase).
 
@@ -123,20 +152,61 @@ class PhaseTimings:
                 interning), measured as the entry-generation residual.
         unfold: BISIM-TRAVELER depth-limited unfolding + re-minimization.
         matrix: canonical-order anti-symmetric matrix assembly
-                (:func:`~repro.spectral.matrix.pattern_matrix`; cache
-                misses only).
+            (:func:`~repro.spectral.matrix.pattern_matrix`; cache
+            misses only).
         eigen:  the eigensolve proper — stacked real-kernel dispatches
-                or per-pattern ``eigvalsh`` (cache misses only).
+            or per-pattern ``eigvalsh`` (cache misses only).
         insert: B-tree loading (and clustered copy-out, when applicable).
+
+    Since the ``repro.obs`` layer (DESIGN.md §10) this is a *view over a
+    metrics registry* rather than a parallel set of floats: each phase
+    attribute reads/writes the ``build.phase_seconds.<phase>`` counter
+    of the backing :class:`~repro.obs.registry.MetricsRegistry` (a
+    private one when none is given, the index's when constructed by an
+    :class:`EntryGenerator` under an :class:`~repro.obs.Obs` context).
+    The dataclass-era API — keyword construction, attribute ``+=``,
+    ``merge``, ``as_dict`` — is unchanged.
     """
 
-    parse: float = 0.0
-    encode: float = 0.0
-    bisim: float = 0.0
-    unfold: float = 0.0
-    matrix: float = 0.0
-    eigen: float = 0.0
-    insert: float = 0.0
+    def __init__(
+        self,
+        parse: float = 0.0,
+        encode: float = 0.0,
+        bisim: float = 0.0,
+        unfold: float = 0.0,
+        matrix: float = 0.0,
+        eigen: float = 0.0,
+        insert: float = 0.0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        object.__setattr__(self, "registry", registry)
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                phase: registry.counter(PHASE_COUNTER_PREFIX + phase)
+                for phase in BUILD_PHASES
+            },
+        )
+        values = (parse, encode, bisim, unfold, matrix, eigen, insert)
+        for phase, value in zip(BUILD_PHASES, values):
+            if value:
+                self._counters[phase].inc(value)
+
+    def __getattr__(self, name: str) -> float:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            counter = counters[name]
+            counter.inc(value - counter.value)
+        else:
+            object.__setattr__(self, name, value)
 
     def merge(self, other: "PhaseTimings") -> None:
         """Accumulate another build's (or worker's) phase times.
@@ -145,25 +215,23 @@ class PhaseTimings:
         aggregate CPU-seconds per phase, which is the comparable
         quantity across serial and parallel builds.
         """
-        self.parse += other.parse
-        self.encode += other.encode
-        self.bisim += other.bisim
-        self.unfold += other.unfold
-        self.matrix += other.matrix
-        self.eigen += other.eigen
-        self.insert += other.insert
+        for phase in BUILD_PHASES:
+            self._counters[phase].inc(getattr(other, phase))
 
     def as_dict(self) -> dict[str, float]:
         """Phase → seconds mapping (for reports and persistence)."""
-        return {
-            "parse": self.parse,
-            "encode": self.encode,
-            "bisim": self.bisim,
-            "unfold": self.unfold,
-            "matrix": self.matrix,
-            "eigen": self.eigen,
-            "insert": self.insert,
-        }
+        return {phase: self._counters[phase].value for phase in BUILD_PHASES}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PhaseTimings):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        phases = ", ".join(
+            f"{phase}={seconds:.4f}" for phase, seconds in self.as_dict().items()
+        )
+        return f"PhaseTimings({phases})"
 
 
 def seed_encoder(
@@ -233,6 +301,7 @@ class EntryGenerator:
         max_unfolding_opens: int = 20000,
         cache: FeatureCache | None = None,
         solver: str | None = None,
+        obs: Obs | None = None,
     ) -> None:
         self.encoder = encoder
         self.depth_limit = depth_limit
@@ -241,8 +310,12 @@ class EntryGenerator:
         self.max_unfolding_opens = max_unfolding_opens
         self.cache = cache
         self.solver = resolve_solver(solver)
+        #: observability context: span capture plus the registry the
+        #: phase timings are a view over (a private, non-tracing one
+        #: unless the owning index passes its own).
+        self.obs = obs if obs is not None else Obs()
         self.stats = ConstructionStats()
-        self.timings = PhaseTimings()
+        self.timings = PhaseTimings(registry=self.obs.registry)
         #: per-document (vid, depth) → signature memo for the cache path.
         self._sig_memo: dict[tuple[int, int], bytes] = {}
         #: the batch queue: misses awaiting the stacked eigensolve, with
@@ -448,9 +521,11 @@ class EntryGenerator:
         if not pending:
             return
         started = time.perf_counter()
-        ranges, buckets = solve_batch(
-            [item.matrix for item in pending], solver=self.solver
-        )
+        with self.obs.span("build.eigen.batch", matrices=len(pending)) as span:
+            ranges, buckets = solve_batch(
+                [item.matrix for item in pending], solver=self.solver
+            )
+            span.set(buckets=len(buckets))
         self.timings.eigen += time.perf_counter() - started
         self.stats.eigen_computations += len(pending)
         self.stats.eigen_batches += len(buckets)

@@ -34,6 +34,7 @@ from repro.core.construction import (
 )
 from repro.core.values import ValueHasher
 from repro.errors import IndexCoverageError, UnsupportedQueryError
+from repro.obs import Obs, ObsConfig
 from repro.query.ast import Axis
 from repro.query.twig import TwigQuery
 from repro.spectral import (
@@ -92,6 +93,16 @@ class FixIndexConfig:
             (``REPRO_SPECTRAL_SOLVER`` environment variable, else
             ``"real"``).  Both solvers agree within 1e-9, inside the
             guard band, so answers are identical either way.
+        obs: observability settings (:class:`~repro.obs.ObsConfig`,
+            DESIGN.md §10).  ``None`` means the metrics registry is
+            live but span tracing is off; with ``ObsConfig(trace=True)``
+            the build and every query over the index capture
+            hierarchical spans (worker pools included, merged
+            deterministically) for JSONL export via ``Obs.flush``.
+            Tracing observes the pipelines without perturbing them:
+            the built index is byte-identical and query results are
+            pointer-identical with tracing on or off.  Runtime-only —
+            never persisted with the index.
     """
 
     depth_limit: int = 0
@@ -104,6 +115,7 @@ class FixIndexConfig:
     feature_cache: bool = True
     prune_backend: str = "btree"
     eigen_solver: str | None = None
+    obs: ObsConfig | None = None
 
     def __post_init__(self) -> None:
         if self.prune_backend not in ("btree", "rtree"):
@@ -126,7 +138,14 @@ class IndexEntry:
 
 @dataclass
 class BuildReport:
-    """What a build did: Algorithm 1's observable costs."""
+    """What a build did: Algorithm 1's observable costs.
+
+    Under the ``repro.obs`` layer this is a view over the index's
+    metrics registry: ``timings`` reads the ``build.phase_seconds.*``
+    counters, and :meth:`cache_summary` / :meth:`as_dict` assemble the
+    cache and batch statistics the registry (and therefore any JSONL
+    trace of the build) carries.
+    """
 
     seconds: float = 0.0
     stats: ConstructionStats = field(default_factory=ConstructionStats)
@@ -139,6 +158,40 @@ class BuildReport:
     #: "legacy"); batch counts live in ``stats.eigen_batches`` /
     #: ``stats.eigen_batch_sizes``.
     eigen_solver: str = "real"
+    #: distinct patterns held by the cross-document spectral feature
+    #: cache at the end of the build (0 when the cache is disabled).
+    feature_cache_patterns: int = 0
+
+    def cache_summary(self) -> dict:
+        """Spectral-feature-cache state: size, hits, misses, hit rate
+        (the PR 1 cache the ``repro stats`` command surfaces)."""
+        lookups = self.stats.cache_hits + self.stats.cache_misses
+        return {
+            "patterns": self.feature_cache_patterns,
+            "hits": self.stats.cache_hits,
+            "misses": self.stats.cache_misses,
+            "hit_rate": self.stats.cache_hits / lookups if lookups else 0.0,
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-friendly dump (persistence, ``repro stats``, traces)."""
+        return {
+            "seconds": self.seconds,
+            "entries": self.stats.entries,
+            "oversized_patterns": self.stats.oversized_patterns,
+            "cache_hits": self.stats.cache_hits,
+            "cache_misses": self.stats.cache_misses,
+            "feature_cache_patterns": self.feature_cache_patterns,
+            "eigen_solver": self.eigen_solver,
+            "eigen_batches": self.stats.eigen_batches,
+            "eigen_batch_sizes": {
+                str(size): count
+                for size, count in sorted(self.stats.eigen_batch_sizes.items())
+            },
+            "phases": self.timings.as_dict(),
+            "btree_bytes": self.btree_bytes,
+            "clustered_bytes": self.clustered_bytes,
+        }
 
 
 class FixIndex:
@@ -163,6 +216,11 @@ class FixIndex:
         #: the resolved spectral solver (config choice, else the
         #: process default), shared by build and query feature paths.
         self.eigen_solver = resolve_solver(self.config.eigen_solver)
+        #: the observability context (DESIGN.md §10): the metrics
+        #: registry every view over this index reads, plus the span
+        #: tracer (enabled via ``config.obs``).  Shared by the entry
+        #: generator and, by default, every processor over this index.
+        self.obs = Obs.from_config(self.config.obs)
         self._generator = EntryGenerator(
             self.encoder,
             self.config.depth_limit,
@@ -171,6 +229,7 @@ class FixIndex:
             max_unfolding_opens=self.config.max_unfolding_opens,
             cache=self.feature_cache,
             solver=self.eigen_solver,
+            obs=self.obs,
         )
         self.report = BuildReport(
             stats=self._generator.stats,
@@ -204,18 +263,52 @@ class FixIndex:
         """
         index = cls(store, config)
         started = time.perf_counter()
-        staged = index._stage_entries()
-        insert_started = time.perf_counter()
-        if index.config.clustered:
-            index._load_clustered(staged)
-        else:
-            index._load_unclustered(staged)
-        index.report.timings.insert += time.perf_counter() - insert_started
+        with index.obs.span(
+            "build",
+            depth_limit=index.config.depth_limit,
+            workers=index.config.workers,
+            solver=index.eigen_solver,
+            clustered=index.config.clustered,
+        ) as build_span:
+            with index.obs.span("build.stage") as stage_span:
+                staged = index._stage_entries()
+                stage_span.set(
+                    entries=len(staged),
+                    documents=index.report.stats.documents,
+                )
+            insert_started = time.perf_counter()
+            with index.obs.span("build.insert", entries=len(staged)):
+                if index.config.clustered:
+                    index._load_clustered(staged)
+                else:
+                    index._load_unclustered(staged)
+            index.report.timings.insert += time.perf_counter() - insert_started
+            build_span.set(entries=len(staged))
         index.report.seconds = time.perf_counter() - started
         index.report.btree_bytes = index.btree.size_bytes()
         if index.clustered_store is not None:
             index.report.clustered_bytes = index.clustered_store.size_bytes()
+        index._publish_build_metrics()
         return index
+
+    def _publish_build_metrics(self) -> None:
+        """Sync construction stats and sizes into the obs registry (the
+        idempotent delta-sync of ``ConstructionStats.publish``), so a
+        registry snapshot — or a flushed trace — carries the full
+        Table-1 accounting without hot-path counter traffic."""
+        registry = self.obs.registry
+        self._generator.stats.publish(registry)
+        registry.gauge("index.entries").set(self.entry_count)
+        registry.gauge("index.btree_bytes").set(self.btree.size_bytes())
+        registry.gauge("index.generation").set(self.generation)
+        if self.feature_cache is not None:
+            cache = self.feature_cache.stats_dict()
+            self.report.feature_cache_patterns = cache["patterns"]
+            registry.gauge("build.cache.patterns").set(cache["patterns"])
+        if self.clustered_store is not None:
+            registry.gauge("index.clustered_bytes").set(
+                self.clustered_store.size_bytes()
+            )
 
     def _stage_entries(self) -> list[tuple[bytes, int, int]]:
         """Generate ``(encoded key, doc_id, node_id)`` for every entry,
@@ -249,9 +342,16 @@ class FixIndex:
                 feature_cache=self.config.feature_cache,
                 doc_ids=doc_ids,
                 eigen_solver=self.eigen_solver,
+                trace=self.obs.tracing,
             )
             self._generator.stats.merge(staged.stats)
             self._generator.timings.merge(staged.timings)
+            # Worker span streams arrive in chunk order (the same order
+            # the staged entries are concatenated in), so the merged
+            # trace is deterministic for any worker count.
+            self.obs.tracer.absorb(
+                staged.trace_events, parent_id=self.obs.tracer.current_id
+            )
             return staged.entries
 
         staged: list[tuple[bytes, int, int]] = []
@@ -264,8 +364,13 @@ class FixIndex:
             document = self.store.get_document(doc_id)
             timings.parse += time.perf_counter() - started
             started = time.perf_counter()
-            for entry in self._generator.entries_for(document):
-                staged.append((self._encode_key(entry.key), doc_id, entry.node_id))
+            with self.obs.span("build.doc", doc=doc_id) as span:
+                entries_before = len(staged)
+                for entry in self._generator.entries_for(document):
+                    staged.append(
+                        (self._encode_key(entry.key), doc_id, entry.node_id)
+                    )
+                span.set(entries=len(staged) - entries_before)
             generate_seconds += time.perf_counter() - started
         timings.bisim += max(
             0.0,
@@ -343,11 +448,13 @@ class FixIndex:
                 "key-ordered); rebuild instead"
             )
         doc_id = self.store.add_document(document)
-        for entry in self._generator.entries_for(document):
-            key = self._encode_key(entry.key)
-            self.btree.insert(key, NodePointer(doc_id, entry.node_id).pack())
+        with self.obs.span("index.add_document", doc=doc_id):
+            for entry in self._generator.entries_for(document):
+                key = self._encode_key(entry.key)
+                self.btree.insert(key, NodePointer(doc_id, entry.node_id).pack())
         self.report.btree_bytes = self.btree.size_bytes()
         self.generation += 1
+        self._publish_build_metrics()
         return doc_id
 
     def remove_document(self, doc_id: int) -> int:
@@ -378,14 +485,17 @@ class FixIndex:
             solver=self.eigen_solver,
         )
         removed = 0
-        for entry in shadow.entries_for(document):
-            key = self._encode_key(entry.key)
-            value = NodePointer(doc_id, entry.node_id).pack()
-            if self.btree.delete(key, value):
-                removed += 1
+        with self.obs.span("index.remove_document", doc=doc_id) as span:
+            for entry in shadow.entries_for(document):
+                key = self._encode_key(entry.key)
+                value = NodePointer(doc_id, entry.node_id).pack()
+                if self.btree.delete(key, value):
+                    removed += 1
+            span.set(removed=removed)
         self.store.remove_document(doc_id)
         self.report.btree_bytes = self.btree.size_bytes()
         self.generation += 1
+        self._publish_build_metrics()
         return removed
 
     # ------------------------------------------------------------------ #

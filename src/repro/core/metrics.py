@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.index import FixIndex
 from repro.core.processor import FixQueryProcessor
+from repro.obs import MetricsRegistry
 from repro.query.ast import Axis
 from repro.query.decompose import decompose
 from repro.query.match import matches_at, query_matches_document
@@ -39,20 +40,33 @@ class PruningMetrics:
     #: the true-result units, for downstream checks.
     true_units: set[NodePointer] = field(default_factory=set, repr=False)
 
+    # Division guards: each ratio is undefined when its denominator is
+    # zero but its numerator is not (e.g. ``cdt > 0`` with ``ent == 0``
+    # would make the triple internally inconsistent), so all three
+    # return NaN for that case — consistently, rather than the old
+    # asymmetric mix of silent zeros.  A 0/0 ratio is vacuous (nothing
+    # to measure) and stays 0.0, preserving the empty-index behaviour.
+
     @property
     def sel(self) -> float:
         """Selectivity: fraction of entries that produce no result."""
-        return 1.0 - self.rst / self.ent if self.ent else 0.0
+        if self.ent:
+            return 1.0 - self.rst / self.ent
+        return 0.0 if self.rst == 0 else float("nan")
 
     @property
     def pp(self) -> float:
         """Pruning power: fraction of entries the index pruned."""
-        return 1.0 - self.cdt / self.ent if self.ent else 0.0
+        if self.ent:
+            return 1.0 - self.cdt / self.ent
+        return 0.0 if self.cdt == 0 else float("nan")
 
     @property
     def fpr(self) -> float:
         """False-positive ratio among the candidates."""
-        return 1.0 - self.rst / self.cdt if self.cdt else 0.0
+        if self.cdt:
+            return 1.0 - self.rst / self.cdt
+        return 0.0 if self.rst == 0 else float("nan")
 
     def as_row(self) -> tuple[float, float, float]:
         """``(sel, pp, fpr)`` for table printing."""
@@ -168,21 +182,63 @@ class QueryRecord:
         return self.plan_seconds + self.prune_seconds + self.refine_seconds
 
 
+def publish_query_metrics(registry: MetricsRegistry, result) -> None:
+    """Record one query's observable cost into ``registry``.
+
+    The single write path for per-query metrics (DESIGN.md §10): the
+    processor calls it on its obs registry, and
+    :class:`QueryMetricsLog` calls it on its backing registry, so both
+    views agree on metric names — ``query.count``,
+    ``query.plan_cache.hits/misses``, per-backend candidate counters,
+    phase-second counters, and the latency histograms.
+    """
+    registry.counter("query.count").inc()
+    registry.counter(
+        "query.plan_cache.hits" if result.plan_cached else "query.plan_cache.misses"
+    ).inc()
+    registry.counter("query.candidates").inc(result.candidate_count)
+    registry.counter(f"query.candidates.{result.backend}").inc(
+        result.candidate_count
+    )
+    registry.counter("query.results").inc(result.result_count)
+    registry.counter("query.documents_fetched").inc(result.documents_fetched)
+    registry.counter("query.phase_seconds.plan").inc(result.plan_seconds)
+    registry.counter("query.phase_seconds.prune").inc(result.prune_seconds)
+    registry.counter("query.phase_seconds.refine").inc(result.refine_seconds)
+    registry.histogram("query.seconds").observe(result.seconds)
+    registry.histogram("query.refine_seconds").observe(result.refine_seconds)
+    registry.gauge("query.workers").set(result.workers)
+
+
 class QueryMetricsLog:
     """Rolling per-query metrics sink for :class:`FixQueryProcessor`.
 
     Pass one as ``metrics_log=`` and every ``query()`` call appends a
     :class:`QueryRecord`; :meth:`summary` aggregates candidates, FP
-    rates, phase timings, and plan-cache hit rate across the window.
+    rates, phase timings, and plan-cache hit rate.
+
+    Under ``repro.obs`` the log is a *view over a metrics registry*:
+    totals come from the registry's ``query.*`` instruments (so they
+    survive window eviction), while the bounded ``records`` window
+    keeps the per-query detail for windowed statistics.  The backing
+    registry is private by default; pass the processor's
+    ``obs.registry`` to share one set of counters (the processor then
+    skips its own publishing — no double counting).
     """
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self, capacity: int = 4096, registry: MetricsRegistry | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"need a positive capacity, got {capacity}")
         self._capacity = capacity
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.records: list[QueryRecord] = []
-        #: total queries ever recorded (survives window eviction).
-        self.total_queries = 0
+
+    @property
+    def total_queries(self) -> int:
+        """Total queries ever recorded (survives window eviction)."""
+        return int(self.registry.counter("query.count").value)
 
     def record(self, source: str, result) -> None:
         """Append one processor result (duck-typed ``FixQueryResult``)."""
@@ -200,7 +256,7 @@ class QueryMetricsLog:
                 workers=result.workers,
             )
         )
-        self.total_queries += 1
+        publish_query_metrics(self.registry, result)
         if len(self.records) > self._capacity:
             del self.records[: len(self.records) - self._capacity]
 
@@ -208,25 +264,36 @@ class QueryMetricsLog:
         return len(self.records)
 
     def summary(self) -> dict:
-        """Aggregates over the recorded window (JSON-friendly)."""
+        """Aggregates over the log (JSON-friendly).
+
+        Totals read the backing registry (all recorded queries);
+        ``queries`` and ``avg_false_positive_rate`` describe the
+        bounded window, which is all a rolling view can say about
+        per-query distributions.
+        """
         n = len(self.records)
-        if not n:
+        if not n and not self.total_queries:
             return {"queries": 0}
+        counters = self.registry.snapshot()["counters"]
+        hits = counters.get("query.plan_cache.hits", 0.0)
+        misses = counters.get("query.plan_cache.misses", 0.0)
         return {
             "queries": n,
             "total_queries": self.total_queries,
-            "candidates": sum(r.candidate_count for r in self.records),
-            "results": sum(r.result_count for r in self.records),
+            "candidates": int(counters.get("query.candidates", 0)),
+            "results": int(counters.get("query.results", 0)),
             "avg_false_positive_rate": (
                 sum(r.false_positive_rate for r in self.records) / n
+                if n
+                else 0.0
             ),
             "plan_cache_hit_rate": (
-                sum(1 for r in self.records if r.plan_cached) / n
+                hits / (hits + misses) if hits + misses else 0.0
             ),
-            "documents_fetched": sum(r.documents_fetched for r in self.records),
-            "plan_seconds": sum(r.plan_seconds for r in self.records),
-            "prune_seconds": sum(r.prune_seconds for r in self.records),
-            "refine_seconds": sum(r.refine_seconds for r in self.records),
+            "documents_fetched": int(counters.get("query.documents_fetched", 0)),
+            "plan_seconds": counters.get("query.phase_seconds.plan", 0.0),
+            "prune_seconds": counters.get("query.phase_seconds.prune", 0.0),
+            "refine_seconds": counters.get("query.phase_seconds.refine", 0.0),
         }
 
 

@@ -56,6 +56,7 @@ from repro.core.construction import (
     PhaseTimings,
 )
 from repro.core.values import ValueHasher
+from repro.obs import Obs
 from repro.spectral import EdgeLabelEncoder, FeatureCache, resolve_solver
 from repro.storage import PrimaryXMLStore
 from repro.xmltree import parse_xml
@@ -73,6 +74,10 @@ class StagedBuild:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     #: a worker's final encoder state, returned for the drift check.
     encoder_state: dict[str, int] | None = None
+    #: closed span events from the worker tracers (empty unless the
+    #: coordinator asked for tracing), concatenated in chunk order so
+    #: the merged trace is deterministic for any worker count.
+    trace_events: list[dict] = field(default_factory=list)
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +93,10 @@ class _WorkerTask:
     #: resolved spectral solver ("real"/"legacy"); resolved by the
     #: coordinator so every worker ignores its own environment.
     eigen_solver: str
+    #: capture spans in the worker (the coordinator's tracing state).
+    trace: bool
+    #: the worker's position in the chunk sequence (its ``proc`` tag).
+    worker_id: int
     #: (doc_id, serialized XML) in doc_id order.
     documents: tuple[tuple[int, str], ...]
 
@@ -98,6 +107,7 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
     hasher = (
         ValueHasher(task.value_buckets) if task.value_buckets is not None else None
     )
+    obs = Obs(trace=task.trace, proc=f"worker-{task.worker_id}")
     generator = EntryGenerator(
         encoder,
         task.depth_limit,
@@ -106,6 +116,7 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
         max_unfolding_opens=task.max_unfolding_opens,
         cache=FeatureCache() if task.feature_cache else None,
         solver=task.eigen_solver,
+        obs=obs,
     )
     entries: list[StagedEntry] = []
     generate_seconds = 0.0
@@ -114,18 +125,21 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
         document = parse_xml(source, doc_id=doc_id)
         generator.timings.parse += time.perf_counter() - started
         started = time.perf_counter()
-        for entry in generator.entries_for(document):
-            entries.append(
-                (
-                    encode_feature_key(
-                        entry.key.root_label,
-                        entry.key.range.lmax,
-                        entry.key.range.lmin,
-                    ),
-                    doc_id,
-                    entry.node_id,
+        with obs.span("build.doc", doc=doc_id) as span:
+            entries_before = len(entries)
+            for entry in generator.entries_for(document):
+                entries.append(
+                    (
+                        encode_feature_key(
+                            entry.key.root_label,
+                            entry.key.range.lmax,
+                            entry.key.range.lmin,
+                        ),
+                        doc_id,
+                        entry.node_id,
+                    )
                 )
-            )
+            span.set(entries=len(entries) - entries_before)
         generate_seconds += time.perf_counter() - started
     generator.timings.bisim += max(
         0.0,
@@ -137,7 +151,11 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
     # Returning the worker's encoder lets the coordinator verify the
     # no-drift invariant; a complete pre-seed makes this a no-op merge.
     return StagedBuild(
-        entries, generator.stats, generator.timings, generator.encoder.to_dict()
+        entries,
+        generator.stats,
+        generator.timings,
+        generator.encoder.to_dict(),
+        trace_events=obs.tracer.events,
     )
 
 
@@ -152,6 +170,7 @@ def parallel_stage(
     feature_cache: bool = True,
     doc_ids: list[int] | None = None,
     eigen_solver: str | None = None,
+    trace: bool = False,
 ) -> StagedBuild:
     """Stage every document of ``store`` across ``workers`` processes.
 
@@ -170,7 +189,7 @@ def parallel_stage(
     chunks = [ids[i : i + chunk_size] for i in range(0, len(ids), chunk_size)]
     tasks = []
     serialize_started = time.perf_counter()
-    for chunk in chunks:
+    for worker_id, chunk in enumerate(chunks):
         documents = tuple(
             (doc_id, store.get_source(doc_id)) for doc_id in chunk
         )
@@ -183,6 +202,8 @@ def parallel_stage(
                 max_unfolding_opens=max_unfolding_opens,
                 feature_cache=feature_cache,
                 eigen_solver=solver,
+                trace=trace,
+                worker_id=worker_id,
                 documents=documents,
             )
         )
@@ -201,6 +222,7 @@ def parallel_stage(
         merged.entries.extend(result.entries)
         merged.stats.merge(result.stats)
         merged.timings.merge(result.timings)
+        merged.trace_events.extend(result.trace_events)
         if result.encoder_state is not None:
             encoder.merge(EdgeLabelEncoder.from_dict(result.encoder_state))
     return merged
@@ -225,6 +247,10 @@ class _RefineTask:
     twig: object  # TwigQuery (already leading-axis-rewritten)
     refiner: str  # "navigational" | "structural_join"
     groups: tuple[RefineGroup, ...]
+    #: capture a span per worker chunk (the coordinator's tracing state).
+    trace: bool = False
+    #: the worker's position in the chunk sequence (its ``proc`` tag).
+    worker_id: int = 0
 
 
 def _make_refiner(kind: str):
@@ -268,9 +294,19 @@ def refine_groups(refiner, twig, groups: "list[RefineGroup] | tuple[RefineGroup,
     return surviving
 
 
-def _refine_worker(task: _RefineTask) -> list[int]:
-    """Refine one chunk of groups (runs in a worker process)."""
-    return refine_groups(_make_refiner(task.refiner), task.twig, task.groups)
+def _refine_worker(task: _RefineTask) -> tuple[list[int], list[dict]]:
+    """Refine one chunk of groups (runs in a worker process).
+
+    Returns the surviving sequence numbers plus the worker's closed
+    span events (empty unless the coordinator traces).
+    """
+    obs = Obs(trace=task.trace, proc=f"worker-{task.worker_id}")
+    with obs.span("query.refine.chunk", groups=len(task.groups)) as span:
+        surviving = refine_groups(
+            _make_refiner(task.refiner), task.twig, task.groups
+        )
+        span.set(survivors=len(surviving))
+    return surviving, obs.tracer.events
 
 
 # Query refinement is latency-sensitive (one fan-out per query, unlike
@@ -302,25 +338,35 @@ def parallel_refine(
     twig,
     refiner_kind: str,
     workers: int,
-) -> list[int]:
+    trace: bool = False,
+) -> tuple[list[int], list[dict]]:
     """Refine ``groups`` across ``workers`` processes.
 
     Groups are partitioned into contiguous chunks (they arrive in
     copy-then-doc_id order from the processor); the surviving sequence
-    numbers are concatenated in chunk order, so the output is
-    independent of the worker count.
+    numbers — and, when ``trace`` is set, the workers' span events —
+    are concatenated in chunk order, so both outputs are independent of
+    the worker count.
     """
     workers = max(1, min(workers, len(groups)))
     chunk_size = (len(groups) + workers - 1) // workers
     tasks = [
-        _RefineTask(twig, refiner_kind, tuple(groups[i : i + chunk_size]))
-        for i in range(0, len(groups), chunk_size)
+        _RefineTask(
+            twig,
+            refiner_kind,
+            tuple(groups[i : i + chunk_size]),
+            trace=trace,
+            worker_id=worker_id,
+        )
+        for worker_id, i in enumerate(range(0, len(groups), chunk_size))
     ]
     if len(tasks) == 1:
         results = [_refine_worker(tasks[0])]
     else:
         results = _refine_pool(len(tasks)).map(_refine_worker, tasks)
     surviving: list[int] = []
-    for result in results:
-        surviving.extend(result)
-    return surviving
+    trace_events: list[dict] = []
+    for chunk_surviving, chunk_events in results:
+        surviving.extend(chunk_surviving)
+        trace_events.extend(chunk_events)
+    return surviving, trace_events

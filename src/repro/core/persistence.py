@@ -69,6 +69,7 @@ def save_index(index: FixIndex, directory: str) -> None:
             "oversized_patterns": index.report.stats.oversized_patterns,
             "cache_hits": index.report.stats.cache_hits,
             "cache_misses": index.report.stats.cache_misses,
+            "feature_cache_patterns": index.report.feature_cache_patterns,
             "eigen_solver": index.report.eigen_solver,
             "eigen_batches": index.report.stats.eigen_batches,
             "eigen_batch_sizes": {
@@ -139,6 +140,7 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
     # Additive report fields (absent in indexes saved by older builds).
     index.report.stats.cache_hits = report.get("cache_hits", 0)
     index.report.stats.cache_misses = report.get("cache_misses", 0)
+    index.report.feature_cache_patterns = report.get("feature_cache_patterns", 0)
     index.report.eigen_solver = report.get("eigen_solver", index.eigen_solver)
     index.report.stats.eigen_batches = report.get("eigen_batches", 0)
     index.report.stats.eigen_batch_sizes = {
@@ -148,4 +150,9 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
     for phase, seconds in report.get("phases", {}).items():
         setattr(index.report.timings, phase, seconds)
     index.report.btree_bytes = index.btree.size_bytes()
+    # Republish the restored stats so the metrics registry agrees with
+    # the report views (phase counters were restored just above).
+    index.report.stats.publish(index.obs.registry)
+    index.obs.registry.gauge("index.entries").set(index.report.stats.entries)
+    index.obs.registry.gauge("index.btree_bytes").set(index.report.btree_bytes)
     return index

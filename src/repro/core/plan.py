@@ -143,5 +143,29 @@ class PlanCache:
         while len(self._plans) > self._capacity:
             self._plans.popitem(last=False)
 
+    def stats_dict(self) -> dict:
+        """Size and hit/miss accounting, for metrics publication
+        (``query.plan_cache.*`` in the ``repro.obs`` registry)."""
+        lookups = self.hits + self.misses
+        return {
+            "plans": len(self._plans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def publish(self, registry, prefix: str = "plan_cache.") -> None:
+        """Sync the cache accounting into a ``repro.obs`` registry
+        (idempotent delta-sync; the size is a gauge).
+
+        The ``plan_cache.*`` namespace is cache-level: it counts every
+        lookup, including standalone ``prune()``/``plan_for()`` calls.
+        The per-*query* hit counters (``query.plan_cache.hits``/
+        ``.misses``) are published by ``publish_query_metrics``.
+        """
+        registry.sync_counter(prefix + "hits", self.hits)
+        registry.sync_counter(prefix + "misses", self.misses)
+        registry.gauge(prefix + "plans").set(len(self._plans))
+
     def clear(self) -> None:
         self._plans.clear()

@@ -39,6 +39,7 @@ from repro.core.index import FixIndex, IndexEntry
 from repro.core.plan import PlanCache, QueryPlan, build_plan
 from repro.engine.navigational import NavigationalEngine
 from repro.engine.structural_join import StructuralJoinEngine
+from repro.obs import Obs
 from repro.query.ast import Axis
 from repro.query.twig import TwigQuery
 from repro.spectral import FeatureKey
@@ -114,6 +115,13 @@ class FixQueryProcessor:
         metrics_log: optional sink with a ``record(source, result)``
             method (see :class:`~repro.core.metrics.QueryMetricsLog`);
             every :meth:`query` call is reported to it.
+        obs: tracing/metrics context (:class:`repro.obs.Obs`).
+            Defaults to the index's own, so build and query metrics
+            land in one registry and query spans join the index's
+            trace.  Every :meth:`query` publishes ``query.*`` metrics
+            to ``obs.registry`` — unless ``metrics_log`` already
+            writes to the *same* registry, in which case the processor
+            defers to it (no double counting).
     """
 
     def __init__(
@@ -126,6 +134,7 @@ class FixQueryProcessor:
         plan_cache: bool | PlanCache = True,
         prune_backend: str | None = None,
         metrics_log=None,
+        obs: Obs | None = None,
     ) -> None:
         self.index = index
         self.refiner = refiner or NavigationalEngine(index.store)
@@ -142,6 +151,7 @@ class FixQueryProcessor:
         else:
             self.plan_cache = PlanCache() if plan_cache else None
         self.metrics_log = metrics_log
+        self.obs = obs if obs is not None else index.obs
         self._histogram = None
         self._histogram_generation = -1
 
@@ -250,33 +260,71 @@ class FixQueryProcessor:
     def query(self, query: TwigQuery | str) -> FixQueryResult:
         """Run all phases and return the validated result pointers."""
         result = FixQueryResult(backend=self.prune_backend, workers=self.workers)
-        started = time.perf_counter()
-        plan, cached = self._plan_for(query)
-        result.plan_seconds = time.perf_counter() - started
-        result.plan_cached = cached
+        source = query if isinstance(query, str) else query.source
+        with self.obs.span(
+            "query",
+            source=source,
+            backend=self.prune_backend,
+            workers=self.workers,
+        ) as query_span:
+            with self.obs.span("query.plan"):
+                started = time.perf_counter()
+                plan, cached = self._plan_for(query)
+                result.plan_seconds = time.perf_counter() - started
+            result.plan_cached = cached
 
-        started = time.perf_counter()
-        candidates = self._pruned_candidates(plan)
-        result.prune_seconds = time.perf_counter() - started
-        result.candidate_count = len(candidates)
+            with self.obs.span("query.prune") as prune_span:
+                started = time.perf_counter()
+                candidates = self._pruned_candidates(plan)
+                result.prune_seconds = time.perf_counter() - started
+                result.candidate_count = len(candidates)
+                prune_span.set(candidates=len(candidates))
 
-        started = time.perf_counter()
-        if self.grouped or self.workers > 1:
-            survivors, fetched = self._refine_grouped(plan.refined, candidates)
-        else:
-            survivors = [
-                entry.pointer
-                for entry in candidates
-                if self._refine_entry(plan.refined, entry)
-            ]
-            fetched = len(candidates)
-        survivors.sort()
-        result.results = survivors
-        result.documents_fetched = fetched
-        result.refine_seconds = time.perf_counter() - started
+            with self.obs.span("query.refine") as refine_span:
+                started = time.perf_counter()
+                if self.grouped or self.workers > 1:
+                    survivors, fetched = self._refine_grouped(
+                        plan.refined, candidates
+                    )
+                else:
+                    survivors = [
+                        entry.pointer
+                        for entry in candidates
+                        if self._refine_entry(plan.refined, entry)
+                    ]
+                    fetched = len(candidates)
+                survivors.sort()
+                result.results = survivors
+                result.documents_fetched = fetched
+                result.refine_seconds = time.perf_counter() - started
+                refine_span.set(groups=fetched, survivors=len(survivors))
+
+            query_span.set(
+                candidates=result.candidate_count,
+                results=result.result_count,
+                plan_cached=cached,
+            )
         if self.metrics_log is not None:
             self.metrics_log.record(plan.source, result)
+        self._publish_query_metrics(result)
         return result
+
+    def _publish_query_metrics(self, result: FixQueryResult) -> None:
+        """Publish ``query.*`` metrics plus backend scan counters."""
+        registry = self.obs.registry
+        self.index.btree.stats.publish(registry)
+        if self.prune_backend == "rtree":
+            self.index.spatial_view().publish(registry)
+        if self.plan_cache is not None:
+            self.plan_cache.publish(registry)
+        if (
+            self.metrics_log is not None
+            and getattr(self.metrics_log, "registry", None) is registry
+        ):
+            return  # the shared log already published this query
+        from repro.core.metrics import publish_query_metrics
+
+        publish_query_metrics(registry, result)
 
     # ------------------------------------------------------------------ #
     # Refinement phase
@@ -360,7 +408,15 @@ class FixQueryProcessor:
                 members.append((len(pointers), entry.pointer.node_id))
                 pointers.append(entry.pointer)
             groups.append(("doc", self.index.store.get_source(doc_id), tuple(members)))
-        surviving = parallel_refine(groups, twig, refiner_kind, self.workers)
+        surviving, trace_events = parallel_refine(
+            groups, twig, refiner_kind, self.workers, trace=self.obs.tracing
+        )
+        if trace_events:
+            # Reparent the workers' refine-chunk spans under the current
+            # query.refine span, in deterministic chunk order.
+            self.obs.tracer.absorb(
+                trace_events, parent_id=self.obs.tracer.current_id
+            )
         return [pointers[seq] for seq in surviving]
 
     def _parallel_refiner_kind(self) -> str | None:

@@ -1,0 +1,117 @@
+"""repro.obs — unified tracing + metrics for the build and query
+pipelines (DESIGN.md §10).
+
+One :class:`Obs` context bundles the two observability substrates:
+
+* a :class:`~repro.obs.tracer.Tracer` producing hierarchical spans that
+  serialize to a JSONL trace file and merge deterministically across
+  the parallel worker pools, and
+* a :class:`~repro.obs.registry.MetricsRegistry` of counters, gauges,
+  and fixed-bucket histograms that the legacy instrumentation views
+  (``PhaseTimings``, ``BuildReport``, ``QueryMetricsLog``) are now
+  backed by.
+
+Every :class:`~repro.core.index.FixIndex` owns an ``Obs`` (configured
+via ``FixIndexConfig.obs``); processors default to their index's.  The
+registry is always live — it is the bookkeeping substrate, and writing
+a counter is about as cheap as the ``+=`` it replaced — while span
+*tracing* is off unless requested, with a cached no-op span singleton
+keeping disabled-mode overhead under the 2 % budget measured by
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NOOP_SPAN, Span, Tracer, read_trace, write_trace
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Obs",
+    "ObsConfig",
+    "Span",
+    "Tracer",
+    "read_trace",
+    "write_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ObsConfig:
+    """Observability settings carried by ``FixIndexConfig.obs``.
+
+    Attributes:
+        trace: capture spans (build and query) for JSONL export.  The
+            metrics registry is live regardless — only span capture has
+            a cost worth gating.
+        trace_path: default path ``Obs.flush()`` writes to when the
+            caller gives none (the CLI's ``--trace PATH``).
+    """
+
+    trace: bool = False
+    trace_path: str | None = None
+
+
+class Obs:
+    """A tracer + registry pair scoped to one index (or one worker)."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        proc: str = "main",
+        trace_path: str | None = None,
+    ) -> None:
+        self.tracer = Tracer(enabled=trace, proc=proc)
+        self.registry = MetricsRegistry()
+        self.trace_path = trace_path
+
+    @classmethod
+    def from_config(cls, config: "ObsConfig | None", proc: str = "main") -> "Obs":
+        if config is None:
+            return cls(trace=False, proc=proc)
+        return cls(trace=config.trace, proc=proc, trace_path=config.trace_path)
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer.enabled
+
+    def span(self, name: str, **attrs):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, **attrs)
+
+    def flush(self, path: str | None = None, append: bool = False) -> int:
+        """Write buffered spans plus a metrics snapshot to JSONL.
+
+        Returns the number of lines written (0 when tracing is off or
+        no path is known).  The buffer is cleared after a successful
+        write, so interleaved ``build --trace`` / ``query --trace``
+        invocations can append into one artifact.
+        """
+        path = path or self.trace_path
+        if path is None or not self.tracer.enabled:
+            return 0
+        events = list(self.tracer.events)
+        events.append(
+            {
+                "type": "metrics",
+                "run": self.tracer.run,
+                "proc": self.tracer.proc,
+                "snapshot": self.registry.snapshot(),
+            }
+        )
+        written = write_trace(events, path, append=append)
+        self.tracer.clear()
+        return written

@@ -89,6 +89,16 @@ class SpatialFeatureIndex:
         """Total tree nodes visited across all queries so far."""
         return sum(tree.nodes_visited for tree in self._trees.values())
 
+    def publish(self, registry, prefix: str = "rtree.") -> None:
+        """Sync the work counters into a ``repro.obs`` registry.
+
+        Idempotent between resets (``sync_counter`` bumps by the
+        delta); callers that ``reset_stats()`` mid-run should publish
+        first, or the registry totals go backwards.
+        """
+        registry.sync_counter(prefix + "entries_inspected", self.entries_inspected())
+        registry.sync_counter(prefix + "nodes_visited", self.nodes_visited())
+
     def reset_stats(self) -> None:
         """Zero all work counters."""
         for tree in self._trees.values():

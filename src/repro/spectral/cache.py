@@ -88,6 +88,17 @@ class FeatureCache:
             raise ValueError("the all-covering fallback range must not be cached")
         self._entries[signature] = key
 
+    def stats_dict(self) -> dict:
+        """Size and hit/miss accounting, for metrics publication
+        (``build.cache.*`` in the ``repro.obs`` registry) and reports."""
+        lookups = self.hits + self.misses
+        return {
+            "patterns": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

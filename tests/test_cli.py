@@ -85,6 +85,39 @@ class TestCLI:
         assert "top root labels:" in output
         assert "0.00 MB" not in output.split("B-tree:")[1].splitlines()[0]
 
+    def test_stats_surfaces_cache_state(self, built_index_dir, capsys):
+        code = main(["stats", built_index_dir])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "spectral cache:" in output
+        assert "plan cache:" in output
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "idx")
+        trace_path = os.fspath(tmp_path / "trace.jsonl")
+        assert main(
+            [
+                "build", "--dataset", "xbench", "--scale", "0.05",
+                "--out", directory, "--trace", trace_path,
+            ]
+        ) == 0
+        assert main(
+            ["query", directory, "//article", "--trace", trace_path]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", trace_path]) == 0
+        output = capsys.readouterr().out
+        assert "build phases" in output
+        assert "//article" in output
+        assert main(["trace", trace_path, "--json", "--top", "3"]) == 0
+        payload = capsys.readouterr().out
+        assert '"phases"' in payload
+
+    def test_trace_missing_file_errors(self, tmp_path, capsys):
+        code = main(["trace", os.fspath(tmp_path / "absent.jsonl")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_datasets_listing(self, capsys):
         code = main(["datasets"])
         assert code == 0

@@ -1,0 +1,404 @@
+"""Tests for the unified tracing + metrics layer (``repro.obs``).
+
+The contracts under test (DESIGN.md §10):
+
+* spans nest correctly, including when the traced body raises;
+* worker-pool traces merge deterministically, and tracing never
+  perturbs the build's byte-identity or the query pipeline's
+  pointer-ordered results;
+* disabled mode emits nothing (the no-op span is a cached singleton)
+  while returning identical answers;
+* the legacy views (``PhaseTimings``, ``QueryMetricsLog``) agree with
+  the registry they are now backed by;
+* a flushed JSONL trace round-trips through the ``repro trace``
+  aggregation, reproducing the build report's phase totals.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    FixIndex,
+    FixIndexConfig,
+    FixQueryProcessor,
+    PruningMetrics,
+    QueryMetricsLog,
+)
+from repro.core.construction import BUILD_PHASES, PhaseTimings
+from repro.obs import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    Obs,
+    ObsConfig,
+    Tracer,
+    read_trace,
+)
+from repro.obs.report import format_trace_report, summarize_trace_file
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+DOCS = [
+    "<bib><article><author><email/></author><title/></article></bib>",
+    "<bib><article><author><phone/></author><title/></article></bib>",
+    "<bib><book><author><affiliation/></author><title/></book></bib>",
+    "<site><regions><item><name/><mailbox><mail/></mailbox></item>"
+    "<item><name/></item></regions></site>",
+    "<bib><www><title/></www></bib>",
+]
+
+QUERIES = ["//article[author]", "//author", "//item/name", "/bib/book"]
+
+
+def corpus() -> PrimaryXMLStore:
+    store = PrimaryXMLStore()
+    for source in DOCS:
+        store.add_document(parse_xml(source))
+    return store
+
+
+def items_of(index: FixIndex) -> list[tuple[bytes, bytes]]:
+    return [(bytes(key), bytes(value)) for key, value in index.btree.items()]
+
+
+def span_events(tracer: Tracer) -> list[dict]:
+    return [e for e in tracer.events if e["type"] == "span"]
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        registry.gauge("g").set(7)
+        hist = registry.histogram("h", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(5.0)
+        hist.observe(50.0)  # beyond the last bound -> +inf bucket
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 3.5
+        assert snap["gauges"]["g"] == 7
+        assert snap["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert snap["histograms"]["h"]["count"] == 3
+
+    def test_counter_is_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_sync_counter_is_idempotent(self):
+        registry = MetricsRegistry()
+        registry.sync_counter("total", 10)
+        registry.sync_counter("total", 10)
+        registry.sync_counter("total", 13)
+        assert registry.counter("total").value == 13
+
+    def test_histogram_bounds_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1.0,))
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(2.0,))
+
+    def test_merge_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        a.gauge("size").set(1)
+        a.histogram("h", bounds=(1.0,)).observe(0.5)
+        b.counter("n").inc(3)
+        b.gauge("size").set(9)
+        b.histogram("h", bounds=(1.0,)).observe(2.0)
+        a.merge_snapshot(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["n"] == 5
+        assert snap["gauges"]["size"] == 9  # last write wins
+        assert snap["histograms"]["h"]["counts"] == [1, 1]
+
+
+# --------------------------------------------------------------------- #
+# Tracer and spans
+# --------------------------------------------------------------------- #
+
+
+class TestSpans:
+    def test_nesting_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        names = [e["name"] for e in span_events(tracer)]
+        assert names == ["inner", "sibling", "outer"]  # close order
+        assert span_events(tracer)[-1]["parent"] is None
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("dying"):
+                    raise RuntimeError("boom")
+        events = {e["name"]: e for e in span_events(tracer)}
+        assert events["dying"]["error"] == "RuntimeError"
+        assert events["outer"]["error"] == "RuntimeError"
+        assert tracer.current_id is None  # stack fully unwound
+
+    def test_sibling_after_crashed_child_is_not_orphaned(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with pytest.raises(ValueError):
+                with tracer.span("crashed"):
+                    raise ValueError()
+            with tracer.span("survivor") as survivor:
+                assert survivor.parent_id == outer.span_id
+
+    def test_disabled_tracer_returns_cached_singleton(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", big_attr=list(range(100)))
+        assert span is NOOP_SPAN
+        assert tracer.span("other") is NOOP_SPAN
+        with span as s:
+            s.set(x=1)
+        assert tracer.events == []
+
+    def test_absorb_remaps_and_reparents(self):
+        worker = Tracer(proc="worker-0")
+        with worker.span("build.doc"):
+            with worker.span("build.eigen.batch"):
+                pass
+        coordinator = Tracer()
+        with coordinator.span("build.stage") as stage:
+            coordinator.absorb(
+                list(worker.events), parent_id=coordinator.current_id
+            )
+            stage_id = stage.span_id
+        merged = {e["name"]: e for e in span_events(coordinator)}
+        assert merged["build.doc"]["parent"] == stage_id
+        assert merged["build.eigen.batch"]["parent"] == merged["build.doc"]["id"]
+        assert merged["build.doc"]["proc"] == "worker-0"
+        assert merged["build.doc"]["run"] == coordinator.run
+
+
+# --------------------------------------------------------------------- #
+# Registry-backed views
+# --------------------------------------------------------------------- #
+
+
+class TestPhaseTimingsView:
+    def test_attributes_are_registry_counters(self):
+        registry = MetricsRegistry()
+        timings = PhaseTimings(registry=registry)
+        timings.parse = 1.5
+        timings.eigen += 0.25
+        counters = registry.snapshot()["counters"]
+        assert counters["build.phase_seconds.parse"] == 1.5
+        assert counters["build.phase_seconds.eigen"] == 0.25
+        assert timings.parse == 1.5
+
+    def test_merge_accumulates(self):
+        a = PhaseTimings(parse=1.0)
+        b = PhaseTimings(parse=0.5, insert=2.0)
+        a.merge(b)
+        assert a.parse == 1.5
+        assert a.insert == 2.0
+        assert set(a.as_dict()) == set(BUILD_PHASES)
+
+
+class TestQueryMetricsLogView:
+    def test_empty_summary_is_exact(self):
+        assert QueryMetricsLog().summary() == {"queries": 0}
+
+    def test_totals_survive_window_eviction(self):
+        log = QueryMetricsLog(capacity=2)
+        index = FixIndex.build(corpus(), FixIndexConfig(depth_limit=4))
+        processor = FixQueryProcessor(index, metrics_log=log)
+        for query in QUERIES:
+            processor.query(query)
+        assert len(log) == 2  # window clamped
+        assert log.total_queries == len(QUERIES)
+        summary = log.summary()
+        assert summary["queries"] == 2
+        assert summary["total_queries"] == len(QUERIES)
+
+    def test_shared_registry_has_no_double_counting(self):
+        index = FixIndex.build(corpus(), FixIndexConfig(depth_limit=4))
+        log = QueryMetricsLog(registry=index.obs.registry)
+        processor = FixQueryProcessor(index, metrics_log=log)
+        processor.query("//author")
+        processor.query("//author")
+        counters = index.obs.registry.snapshot()["counters"]
+        assert counters["query.count"] == 2
+        assert (
+            counters["query.plan_cache.hits"]
+            + counters["query.plan_cache.misses"]
+            == 2
+        )
+
+    def test_private_log_and_processor_registry_both_count(self):
+        index = FixIndex.build(corpus(), FixIndexConfig(depth_limit=4))
+        log = QueryMetricsLog()  # private registry
+        processor = FixQueryProcessor(index, metrics_log=log)
+        processor.query("//author")
+        assert log.registry.counter("query.count").value == 1
+        assert index.obs.registry.counter("query.count").value == 1
+
+
+# --------------------------------------------------------------------- #
+# Satellite: division-guard consistency
+# --------------------------------------------------------------------- #
+
+
+class TestPruningMetricsGuards:
+    def test_zero_over_zero_stays_zero(self):
+        metrics = PruningMetrics(ent=0, cdt=0, rst=0)
+        assert metrics.sel == 0.0
+        assert metrics.pp == 0.0
+        assert metrics.fpr == 0.0
+
+    def test_nonzero_numerator_over_zero_is_nan(self):
+        assert math.isnan(PruningMetrics(ent=0, cdt=3, rst=0).pp)
+        assert math.isnan(PruningMetrics(ent=0, cdt=0, rst=2).sel)
+        assert math.isnan(PruningMetrics(ent=10, cdt=0, rst=2).fpr)
+
+    def test_normal_cases_unchanged(self):
+        metrics = PruningMetrics(ent=10, cdt=4, rst=2)
+        assert metrics.sel == pytest.approx(1 - 2 / 10)
+        assert metrics.pp == pytest.approx(1 - 4 / 10)
+        assert metrics.fpr == pytest.approx(1 - 2 / 4)
+
+
+# --------------------------------------------------------------------- #
+# Pipeline integration
+# --------------------------------------------------------------------- #
+
+
+class TestDisabledMode:
+    def test_emits_nothing_and_answers_match(self, tmp_path):
+        store = corpus()
+        traced = FixIndex.build(
+            store, FixIndexConfig(depth_limit=4, obs=ObsConfig(trace=True))
+        )
+        silent = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        assert silent.obs.tracer.events == []
+        assert traced.obs.tracer.events != []
+        assert items_of(silent) == items_of(traced)
+        for query in QUERIES:
+            assert (
+                FixQueryProcessor(silent).query(query).results
+                == FixQueryProcessor(traced).query(query).results
+            )
+        # No path + tracing off -> flush writes no file, reports 0 lines.
+        assert silent.obs.flush(str(tmp_path / "unused.jsonl")) == 0
+        assert not (tmp_path / "unused.jsonl").exists()
+
+
+class TestWorkerTraceMerge:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_build_trace_covers_every_document(self, workers):
+        index = FixIndex.build(
+            corpus(),
+            FixIndexConfig(
+                depth_limit=4, workers=workers, obs=ObsConfig(trace=True)
+            ),
+        )
+        events = span_events(index.obs.tracer)
+        docs = [e for e in events if e["name"] == "build.doc"]
+        assert len(docs) == len(DOCS)
+        # Chunk-ordered absorption: doc spans appear in doc_id order.
+        assert [e["attrs"]["doc"] for e in docs] == sorted(
+            e["attrs"]["doc"] for e in docs
+        )
+        build = next(e for e in events if e["name"] == "build")
+        assert build["parent"] is None
+
+    def test_parallel_and_serial_traces_agree_structurally(self):
+        def doc_procs(workers: int) -> list[str]:
+            index = FixIndex.build(
+                corpus(),
+                FixIndexConfig(
+                    depth_limit=4, workers=workers, obs=ObsConfig(trace=True)
+                ),
+            )
+            return [
+                e["proc"]
+                for e in span_events(index.obs.tracer)
+                if e["name"] == "build.doc"
+            ]
+
+        assert doc_procs(1) == ["main"] * len(DOCS)
+        parallel = doc_procs(4)
+        assert len(parallel) == len(DOCS)
+        assert all(proc.startswith("worker-") for proc in parallel)
+        # Chunk order is deterministic: same assignment every run.
+        assert parallel == doc_procs(4)
+
+    def test_traced_parallel_build_is_byte_identical(self):
+        store = corpus()
+        baseline = FixIndex.build(store, FixIndexConfig(depth_limit=4))
+        traced = FixIndex.build(
+            store,
+            FixIndexConfig(
+                depth_limit=4, workers=3, obs=ObsConfig(trace=True)
+            ),
+        )
+        assert items_of(baseline) == items_of(traced)
+
+    def test_traced_parallel_refine_matches_serial(self):
+        index = FixIndex.build(corpus(), FixIndexConfig(depth_limit=4))
+        obs = Obs(trace=True)
+        parallel = FixQueryProcessor(index, workers=2, obs=obs)
+        serial = FixQueryProcessor(index)
+        for query in QUERIES:
+            assert parallel.query(query).results == serial.query(query).results
+        chunk_spans = [
+            e
+            for e in span_events(obs.tracer)
+            if e["name"] == "query.refine.chunk"
+        ]
+        assert chunk_spans, "worker refine spans were not absorbed"
+        assert all(
+            e["proc"].startswith("refine-") or e["proc"].startswith("worker-")
+            for e in chunk_spans
+        )
+
+
+class TestTraceRoundTrip:
+    def test_flush_summarize_reproduces_phase_totals(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        index = FixIndex.build(
+            corpus(),
+            FixIndexConfig(
+                depth_limit=4, obs=ObsConfig(trace=True, trace_path=path)
+            ),
+        )
+        assert index.obs.flush() > 0
+        obs = Obs(trace=True)
+        log = QueryMetricsLog(registry=obs.registry)
+        processor = FixQueryProcessor(index, metrics_log=log, obs=obs)
+        for query in QUERIES:
+            processor.query(query)
+        assert obs.flush(path, append=True) > 0
+
+        summary = summarize_trace_file(path)
+        reported = index.report.timings.as_dict()
+        recovered = summary.phase_seconds()
+        for phase, seconds in reported.items():
+            assert recovered[phase] == pytest.approx(seconds, rel=0.01)
+        assert len(summary.queries) == len(QUERIES)
+        assert summary.orphan_spans == 0
+        sources = {q["source"] for q in summary.queries}
+        assert sources == set(QUERIES)
+        report = format_trace_report(summary)
+        assert "build phases" in report
+        assert "slowest" in report
+
+    def test_reader_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"span"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace(str(path))
