@@ -77,6 +77,9 @@ class Obs:
         self.tracer = Tracer(enabled=trace, proc=proc)
         self.registry = MetricsRegistry()
         self.trace_path = trace_path
+        #: registry state at the last flush, so repeated flushes emit
+        #: deltas and a merged trace never double-counts a counter.
+        self._flushed_snapshot: dict | None = None
 
     @classmethod
     def from_config(cls, config: "ObsConfig | None", proc: str = "main") -> "Obs":
@@ -97,21 +100,66 @@ class Obs:
 
         Returns the number of lines written (0 when tracing is off or
         no path is known).  The buffer is cleared after a successful
-        write, so interleaved ``build --trace`` / ``query --trace``
-        invocations can append into one artifact.
+        write, and the metrics snapshot only carries the *delta* since
+        the previous flush (the registry keeps accumulating), so
+        interleaved ``build --trace`` / ``query --trace`` invocations —
+        or several flushes from one process — can append into one
+        artifact without ``repro trace`` double-counting anything.
         """
         path = path or self.trace_path
         if path is None or not self.tracer.enabled:
             return 0
+        snapshot = self.registry.snapshot()
+        delta = (
+            snapshot
+            if self._flushed_snapshot is None
+            else _snapshot_delta(self._flushed_snapshot, snapshot)
+        )
         events = list(self.tracer.events)
         events.append(
             {
                 "type": "metrics",
                 "run": self.tracer.run,
                 "proc": self.tracer.proc,
-                "snapshot": self.registry.snapshot(),
+                "snapshot": delta,
             }
         )
         written = write_trace(events, path, append=append)
         self.tracer.clear()
+        self._flushed_snapshot = snapshot
         return written
+
+
+def _snapshot_delta(prev: dict, cur: dict) -> dict:
+    """What changed between two registry snapshots of one process.
+
+    Counters and histograms diff (so ``merge_snapshot`` over a sequence
+    of flushed deltas reconstructs the final totals exactly); gauges are
+    point-in-time values and pass through unchanged — merge is
+    last-write-wins for them anyway.
+    """
+    prev_counters = prev.get("counters", {})
+    prev_histograms = prev.get("histograms", {})
+    counters = {
+        name: value - prev_counters.get(name, 0.0)
+        for name, value in cur["counters"].items()
+    }
+    histograms: dict[str, dict] = {}
+    for name, dump in cur["histograms"].items():
+        before = prev_histograms.get(name)
+        if before is None or before["bounds"] != dump["bounds"]:
+            histograms[name] = dump
+            continue
+        histograms[name] = {
+            "bounds": dump["bounds"],
+            "counts": [
+                now - then for now, then in zip(dump["counts"], before["counts"])
+            ],
+            "count": dump["count"] - before["count"],
+            "sum": dump["sum"] - before["sum"],
+        }
+    return {
+        "counters": counters,
+        "gauges": dict(cur["gauges"]),
+        "histograms": histograms,
+    }

@@ -160,15 +160,20 @@ class MetricsRegistry:
         return instrument
 
     def sync_counter(self, name: str, value: float) -> None:
-        """Set counter ``name`` to an externally accumulated total.
+        """Catch counter ``name`` up to an externally accumulated total.
 
         Used by views that keep their own running sums (e.g.
         :class:`~repro.core.construction.ConstructionStats`) and publish
         them at phase boundaries: the counter is bumped by the delta, so
-        repeated publishes of a growing total are idempotent.
+        repeated publishes of a growing total are idempotent.  The delta
+        is clamped at zero — counters are monotonic, so a source total
+        that was externally reset (``reset_stats()``) can never drive
+        the registry backwards; publishes then no-op until the total
+        re-passes the value already recorded.
         """
         instrument = self.counter(name)
-        instrument.inc(value - instrument.value)
+        if value > instrument.value:
+            instrument.inc(value - instrument.value)
 
     # ------------------------------------------------------------------ #
     # Snapshots and merging

@@ -152,33 +152,39 @@ class Tracer:
     # ------------------------------------------------------------------ #
 
     def absorb(self, events: list[dict], parent_id: int | None = None) -> None:
-        """Merge another tracer's closed events into this one.
+        """Merge other tracers' closed events into this one.
 
-        Span ids are remapped into this tracer's id space (preserving
-        the events' relative order, so absorbing worker traces in chunk
-        order is deterministic); the incoming trace's top-level spans
-        are re-parented under ``parent_id``.  ``proc`` tags are kept, so
-        the merged trace still says which worker did what.
+        ``events`` may be the concatenation of several workers' streams:
+        every worker numbers its spans from 1, so the remap is keyed by
+        ``(run, id)`` — the ``run`` tag is unique per tracer — and each
+        worker's ids stay distinct in the merged trace.  New ids are
+        assigned in event order (absorbing worker traces in chunk order
+        is therefore deterministic); each incoming trace's top-level
+        spans are re-parented under ``parent_id``.  ``proc`` tags are
+        kept, so the merged trace still says which worker did what.
         """
         if not events:
             return
         base = self._next_id
-        remap: dict[int, int] = {}
+        remap: dict[tuple[str | None, int], int] = {}
         for event in events:
             if event.get("type") == "span":
-                remap[event["id"]] = base + len(remap)
+                key = (event.get("run"), event["id"])
+                if key not in remap:
+                    remap[key] = base + len(remap)
         self._next_id = base + len(remap)
         for event in events:
             event = dict(event)
             if event.get("type") == "span":
-                event["run"] = self.run
-                event["id"] = remap[event["id"]]
+                run = event.get("run")
+                event["id"] = remap[(run, event["id"])]
                 old_parent = event.get("parent")
                 event["parent"] = (
-                    remap.get(old_parent, parent_id)
+                    remap.get((run, old_parent), parent_id)
                     if old_parent is not None
                     else parent_id
                 )
+                event["run"] = self.run
             self.events.append(event)
 
     # ------------------------------------------------------------------ #

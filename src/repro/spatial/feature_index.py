@@ -92,9 +92,11 @@ class SpatialFeatureIndex:
     def publish(self, registry, prefix: str = "rtree.") -> None:
         """Sync the work counters into a ``repro.obs`` registry.
 
-        Idempotent between resets (``sync_counter`` bumps by the
-        delta); callers that ``reset_stats()`` mid-run should publish
-        first, or the registry totals go backwards.
+        Idempotent (``sync_counter`` bumps by the delta, clamped at
+        zero), and safe to combine with ``reset_stats()``: the registry
+        totals never go backwards, though work done between the reset
+        and re-passing the published totals is not re-counted — callers
+        that reset mid-run should publish first to avoid losing it.
         """
         registry.sync_counter(prefix + "entries_inspected", self.entries_inspected())
         registry.sync_counter(prefix + "nodes_visited", self.nodes_visited())

@@ -105,6 +105,14 @@ class TestRegistry:
         with pytest.raises(ValueError):
             registry.histogram("h", bounds=(2.0,))
 
+    def test_sync_counter_clamps_backwards_totals(self):
+        registry = MetricsRegistry()
+        registry.sync_counter("total", 10)
+        registry.sync_counter("total", 4)  # the source was reset
+        assert registry.counter("total").value == 10
+        registry.sync_counter("total", 12)
+        assert registry.counter("total").value == 12
+
     def test_merge_snapshot(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.counter("n").inc(2)
@@ -182,6 +190,45 @@ class TestSpans:
         assert merged["build.eigen.batch"]["parent"] == merged["build.doc"]["id"]
         assert merged["build.doc"]["proc"] == "worker-0"
         assert merged["build.doc"]["run"] == coordinator.run
+
+    def test_absorb_concatenated_multiworker_events(self):
+        # Both call sites (parallel_stage, parallel_refine) ship the
+        # concatenation of ALL workers' event lists in one absorb()
+        # call, and every worker numbers its spans from 1 — the remap
+        # must not collide across workers.
+        workers = []
+        for worker_id in range(3):
+            worker = Tracer(proc=f"worker-{worker_id}")
+            with worker.span("build.doc", doc=worker_id):
+                with worker.span("build.eigen.batch"):
+                    pass
+            workers.append(worker)
+        combined = [e for w in workers for e in w.events]
+
+        coordinator = Tracer()
+        with coordinator.span("build.stage") as stage:
+            coordinator.absorb(combined, parent_id=coordinator.current_id)
+            stage_id = stage.span_id
+        with coordinator.span("build.insert"):
+            pass
+
+        events = span_events(coordinator)
+        ids = [e["id"] for e in events]
+        assert len(ids) == len(set(ids)), "span ids collided in the merge"
+        for worker_id in range(3):
+            by_name = {
+                e["name"]: e
+                for e in events
+                if e["proc"] == f"worker-{worker_id}"
+            }
+            assert by_name["build.doc"]["parent"] == stage_id
+            assert (
+                by_name["build.eigen.batch"]["parent"]
+                == by_name["build.doc"]["id"]
+            )
+            assert by_name["build.eigen.batch"]["id"] != (
+                by_name["build.eigen.batch"]["parent"]
+            )
 
 
 # --------------------------------------------------------------------- #
@@ -396,6 +443,28 @@ class TestTraceRoundTrip:
         report = format_trace_report(summary)
         assert "build phases" in report
         assert "slowest" in report
+
+    def test_repeated_flush_emits_deltas_not_full_snapshots(self, tmp_path):
+        # The registry keeps accumulating across flushes; each flush
+        # must only carry the delta, or summarize's merge_snapshot
+        # double-counts every counter.
+        path = str(tmp_path / "trace.jsonl")
+        obs = Obs(trace=True)
+        obs.registry.counter("c").inc(5)
+        obs.registry.histogram("h", bounds=(1.0,)).observe(0.5)
+        obs.registry.gauge("g").set(3)
+        assert obs.flush(path) > 0
+        obs.registry.counter("c").inc(2)
+        obs.registry.histogram("h", bounds=(1.0,)).observe(2.0)
+        obs.registry.gauge("g").set(4)
+        assert obs.flush(path, append=True) > 0
+
+        merged = summarize_trace_file(path).registry.snapshot()
+        assert merged["counters"]["c"] == 7
+        assert merged["gauges"]["g"] == 4
+        assert merged["histograms"]["h"]["counts"] == [1, 1]
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["sum"] == pytest.approx(2.5)
 
     def test_reader_rejects_malformed_lines(self, tmp_path):
         path = tmp_path / "bad.jsonl"
