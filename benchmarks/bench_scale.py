@@ -1,0 +1,275 @@
+"""Out-of-core scale benchmark: sharded spill build vs in-memory build.
+
+The claim under test (DESIGN.md §11): a sharded index with file-backed
+stores, a bounded buffer pool, and bounded B-tree node tables can build
+and query a corpus whose in-memory footprint the single monolithic
+:class:`FixIndex` path cannot fit under a fixed process-memory budget —
+while returning pointer-identical answers, and while root-label affinity
+plus the per-shard λ_max histograms let anchored queries skip most
+shards without touching them.
+
+Each case runs in its own subprocess so ``resource.getrusage``'s
+``ru_maxrss`` (the *lifetime* peak) measures that case alone:
+
+* **single** — stream the corpus into an in-memory primary store,
+  ``FixIndex.build``, then run the query workload.
+* **sharded** — stream the same corpus straight into 8 file-backed
+  shard stores (``spill_dir``), build each shard under a tight buffer
+  pool and node table, then run the same workload.
+
+The parent process compares per-query answer checksums (they must be
+identical), records shard visit/skip counters, and asserts the memory
+story: the sharded case must stay under the budget; the full-size
+single case must exceed it.
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick]
+
+Full mode streams >= 3M elements and writes ``BENCH_scale.json`` at the
+repository root.  ``--quick`` (~200k elements, the CI configuration)
+asserts only the sharded ceiling and answer identity, and exits
+non-zero on any breach.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_scale.json")
+
+ROOTS = ["book", "article", "journal", "report"]
+SECTION = "<sec><a/><b/><c/><p>%s</p></sec>"
+PAYLOAD = "x" * 180  # text bulk: raises bytes/doc without adding elements
+MIN_SECTIONS, MAX_SECTIONS = 28, 36
+
+SHARDS = 8
+PAGE_CACHE_PAGES = 64
+BTREE_NODE_CACHE = 64
+
+FULL_DOCS = 18_500  # >= 3M elements (see elements_for)
+QUICK_DOCS = 1_250  # ~200k elements, the CI smoke configuration
+FULL_BUDGET_MB = 160.0
+QUICK_BUDGET_MB = 192.0
+
+QUERIES = [
+    "/book/sec/a",
+    "/article/sec/b",
+    "/journal/sec/c",
+    "/report/sec/p",
+    "/book//year",
+    "//meta",
+]
+
+
+def sections_for(doc_id: int) -> int:
+    return MIN_SECTIONS + doc_id % (MAX_SECTIONS - MIN_SECTIONS + 1)
+
+
+def elements_for(doc_id: int) -> int:
+    # root + meta + year + sections * (sec, a, b, c, p)
+    return 3 + 5 * sections_for(doc_id)
+
+
+def make_source(doc_id: int) -> str:
+    root = ROOTS[doc_id % len(ROOTS)]
+    body = SECTION % PAYLOAD * sections_for(doc_id)
+    return f"<{root}><meta><year>19{doc_id % 90 + 10}</year></meta>{body}</{root}>"
+
+
+def corpus(doc_count: int):
+    return (make_source(doc_id) for doc_id in range(doc_count))
+
+
+def total_elements(doc_count: int) -> int:
+    return sum(elements_for(doc_id) for doc_id in range(doc_count))
+
+
+def rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _checksum(pointers) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for pointer in pointers:
+        digest.update(b"%d:%d;" % (pointer.doc_id, pointer.node_id))
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Child cases (each runs in a fresh subprocess)
+# --------------------------------------------------------------------- #
+
+
+def run_case(case: str, doc_count: int, workdir: str) -> dict:
+    from repro.core import (
+        FixIndex,
+        FixIndexConfig,
+        FixQueryProcessor,
+        ShardedFixIndex,
+    )
+    from repro.storage import PrimaryXMLStore
+
+    baseline_mb = rss_mb()  # interpreter + numpy, before any corpus data
+    started = time.perf_counter()
+    if case == "single":
+        store = PrimaryXMLStore()
+        for source in corpus(doc_count):
+            store.add_source(source)
+        index = FixIndex.build(store, FixIndexConfig(depth_limit=0))
+    elif case == "sharded":
+        config = FixIndexConfig(
+            depth_limit=0,
+            shards=SHARDS,
+            shard_affinity="root-label",
+            spill_dir=os.path.join(workdir, "spill"),
+            page_cache_pages=PAGE_CACHE_PAGES,
+            btree_node_cache=BTREE_NODE_CACHE,
+        )
+        index = ShardedFixIndex.build_from_sources(corpus(doc_count), config)
+    else:
+        raise SystemExit(f"unknown case {case!r}")
+    build_seconds = time.perf_counter() - started
+
+    processor = FixQueryProcessor(index)
+    answers = {}
+    query_started = time.perf_counter()
+    for query in QUERIES:
+        result = processor.query(query)
+        answers[query] = {
+            "results": result.result_count,
+            "checksum": _checksum(result.results),
+        }
+    query_seconds = time.perf_counter() - query_started
+
+    report = {
+        "case": case,
+        "documents": doc_count,
+        "entries": index.entry_count,
+        "build_seconds": round(build_seconds, 3),
+        "query_seconds": round(query_seconds, 3),
+        "baseline_rss_mb": round(baseline_mb, 1),
+        "peak_rss_mb": round(rss_mb(), 1),
+        "answers": answers,
+    }
+    if case == "sharded":
+        counters = index.obs.registry.snapshot()["counters"]
+        pager = index.pager_stats()
+        report["shards"] = SHARDS
+        report["shards_visited"] = counters.get("shards.visited", 0.0)
+        report["shards_skipped"] = counters.get("shards.skipped", 0.0)
+        report["pager"] = {
+            "logical_reads": pager.logical_reads,
+            "physical_reads": pager.physical_reads,
+            "hit_rate": round(pager.hit_rate, 4),
+            "evictions": pager.evictions,
+        }
+    return report
+
+
+def _spawn(case: str, doc_count: int, workdir: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(ROOT, "src")
+    completed = subprocess.run(
+        [
+            sys.executable, os.path.abspath(__file__),
+            "--case", case, "--docs", str(doc_count), "--workdir", workdir,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        check=True,
+    )
+    return json.loads(completed.stdout.decode("utf-8"))
+
+
+# --------------------------------------------------------------------- #
+# Parent: orchestrate, compare, assert, record
+# --------------------------------------------------------------------- #
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI configuration (~200k elements)")
+    parser.add_argument("--case", choices=["single", "sharded"],
+                        help="internal: run one case and print JSON")
+    parser.add_argument("--docs", type=int, default=None)
+    parser.add_argument("--workdir", default=None)
+    parser.add_argument("--out", default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    if args.case:  # child invocation
+        json.dump(run_case(args.case, args.docs, args.workdir), sys.stdout)
+        return 0
+
+    doc_count = QUICK_DOCS if args.quick else FULL_DOCS
+    budget_mb = QUICK_BUDGET_MB if args.quick else FULL_BUDGET_MB
+    elements = total_elements(doc_count)
+    print(f"corpus: {doc_count} documents, {elements} elements "
+          f"({'quick' if args.quick else 'full'} mode, "
+          f"budget {budget_mb:.0f} MB)")
+    if not args.quick:
+        assert elements >= 3_000_000, elements
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench_scale_") as workdir:
+        single = _spawn("single", doc_count, workdir)
+        print(f"  single : build {single['build_seconds']}s "
+              f"query {single['query_seconds']}s "
+              f"peak {single['peak_rss_mb']} MB")
+        sharded = _spawn("sharded", doc_count, workdir)
+        print(f"  sharded: build {sharded['build_seconds']}s "
+              f"query {sharded['query_seconds']}s "
+              f"peak {sharded['peak_rss_mb']} MB "
+              f"(visited {sharded['shards_visited']:.0f}, "
+              f"skipped {sharded['shards_skipped']:.0f} shard scans)")
+
+    if sharded["answers"] != single["answers"]:
+        failures.append("sharded answers differ from single-index answers")
+    if sharded["peak_rss_mb"] > budget_mb:
+        failures.append(
+            f"sharded peak RSS {sharded['peak_rss_mb']} MB exceeds the "
+            f"{budget_mb:.0f} MB budget"
+        )
+    if not sharded["shards_skipped"]:
+        failures.append("no shard scans were skipped (early exit inert)")
+    if not args.quick and single["peak_rss_mb"] <= budget_mb:
+        failures.append(
+            f"single-index peak RSS {single['peak_rss_mb']} MB fits the "
+            f"{budget_mb:.0f} MB budget — corpus too small to make the "
+            "out-of-core case"
+        )
+
+    payload = {
+        "mode": "quick" if args.quick else "full",
+        "corpus": {
+            "documents": doc_count,
+            "elements": elements,
+            "roots": ROOTS,
+        },
+        "budget_mb": budget_mb,
+        "single": single,
+        "sharded": sharded,
+        "identical_answers": sharded["answers"] == single["answers"],
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

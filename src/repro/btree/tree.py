@@ -26,6 +26,7 @@ Design notes:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
@@ -48,10 +49,16 @@ class BTreeStats:
     splits: int = 0
     inserts: int = 0
     deletes: int = 0
+    node_evictions: int = 0
 
     def snapshot(self) -> "BTreeStats":
         return BTreeStats(
-            self.node_visits, self.leaf_scans, self.splits, self.inserts, self.deletes
+            self.node_visits,
+            self.leaf_scans,
+            self.splits,
+            self.inserts,
+            self.deletes,
+            self.node_evictions,
         )
 
     def delta(self, before: "BTreeStats") -> "BTreeStats":
@@ -61,7 +68,25 @@ class BTreeStats:
             self.splits - before.splits,
             self.inserts - before.inserts,
             self.deletes - before.deletes,
+            self.node_evictions - before.node_evictions,
         )
+
+    def add(self, other: "BTreeStats") -> None:
+        """Fold another tree's counters into this one (cross-shard sums)."""
+        self.node_visits += other.node_visits
+        self.leaf_scans += other.leaf_scans
+        self.splits += other.splits
+        self.inserts += other.inserts
+        self.deletes += other.deletes
+        self.node_evictions += other.node_evictions
+
+    @classmethod
+    def combine(cls, stats: "list[BTreeStats] | tuple[BTreeStats, ...]") -> "BTreeStats":
+        """Sum of several trees' counters."""
+        total = cls()
+        for item in stats:
+            total.add(item)
+        return total
 
     def publish(self, registry, prefix: str = "btree.") -> None:
         """Sync these monotonic totals into a ``repro.obs`` registry
@@ -71,6 +96,7 @@ class BTreeStats:
         registry.sync_counter(prefix + "splits", self.splits)
         registry.sync_counter(prefix + "inserts", self.inserts)
         registry.sync_counter(prefix + "deletes", self.deletes)
+        registry.sync_counter(prefix + "node_evictions", self.node_evictions)
 
 
 @dataclass
@@ -80,12 +106,32 @@ class _Slot:
 
 
 class BPlusTree:
-    """B+tree with duplicate keys over a :class:`Pager`."""
+    """B+tree with duplicate keys over a :class:`Pager`.
 
-    def __init__(self, pager: Pager | None = None) -> None:
+    Args:
+        pager: backing pager (in-memory by default).
+        node_cache: maximum parsed nodes kept resident, or ``None`` for
+            an unbounded table (the historical behavior — right for
+            in-memory trees, where evicting would only add re-parse
+            work).  With a bound, cold nodes are LRU-evicted: dirty
+            ones are serialized to their page first, so with a
+            file-backed pager the tree operates out of core.
+    """
+
+    def __init__(
+        self, pager: Pager | None = None, node_cache: int | None = None
+    ) -> None:
+        if node_cache is not None and node_cache < 1:
+            raise BTreeError(f"node_cache must be >= 1, got {node_cache}")
         self._pager = pager if pager is not None else Pager()
         self.stats = BTreeStats()
-        self._nodes: dict[int, _Slot] = {}
+        self._nodes: "OrderedDict[int, _Slot]" = OrderedDict()
+        self._node_cache = node_cache
+        # Mutating operations hold parsed node objects as locals across
+        # nested node-table calls; eviction is deferred while > 0 so a
+        # held node cannot be serialized mid-mutation (its slot must
+        # also stay resident for ``_dirty``).
+        self._hold = 0
         self._entry_count = 0
         root = LeafNode()
         self._root_page = self._adopt(root)
@@ -141,11 +187,16 @@ class BPlusTree:
                 f"{self._max_pair}-byte pair limit"
             )
         self.stats.inserts += 1
-        split = self._insert_into(self._root_page, key, value)
-        if split is not None:
-            separator, right_page = split
-            new_root = InternalNode([separator], [self._root_page, right_page])
-            self._root_page = self._adopt(new_root)
+        self._hold += 1
+        try:
+            split = self._insert_into(self._root_page, key, value)
+            if split is not None:
+                separator, right_page = split
+                new_root = InternalNode([separator], [self._root_page, right_page])
+                self._root_page = self._adopt(new_root)
+        finally:
+            self._hold -= 1
+        self._evict_nodes()
         self._entry_count += 1
 
     def _insert_into(
@@ -206,6 +257,7 @@ class BPlusTree:
         pairs: list[tuple[bytes, bytes]],
         pager: Pager | None = None,
         fill_factor: float = 0.9,
+        node_cache: int | None = None,
     ) -> "BPlusTree":
         """Build a tree bottom-up from **key-sorted** pairs.
 
@@ -214,10 +266,16 @@ class BPlusTree:
         bulk load, used by the clustered index construction (whose
         entries are already sorted for the copy store).
 
+        A leaf is installed into the node table only once its
+        ``next_leaf`` link is final (the successor's page is allocated
+        the moment a leaf closes), so a bounded ``node_cache`` may
+        evict it immediately — page allocation order, and therefore the
+        on-disk layout, is identical to the unbounded build.
+
         Raises:
             BTreeError: when ``pairs`` is not sorted by key.
         """
-        tree = cls(pager)
+        tree = cls(pager, node_cache=node_cache)
         if not pairs:
             return tree
         for i in range(len(pairs) - 1):
@@ -225,32 +283,39 @@ class BPlusTree:
                 raise BTreeError("bulk_load requires key-sorted input")
         budget = int(tree._pager.page_size * fill_factor)
 
-        # Pack leaves left to right.
-        leaves: list[tuple[int, LeafNode]] = []
+        # Pack leaves left to right.  ``full`` defers closing an
+        # overfull leaf until the next pair proves a successor exists,
+        # so the tail leaf keeps ``next_leaf = NO_LEAF`` without ever
+        # allocating a page for an empty successor.
+        level: list[tuple[int, bytes]] = []  # (page_id, first key) per node
         current = LeafNode()
+        current_page = tree._pager.allocate()
+        full = False
         for key, value in pairs:
             if len(key) + len(value) > tree._max_pair:
                 raise BTreeError(
                     f"entry of {len(key) + len(value)} bytes exceeds the "
                     f"{tree._max_pair}-byte pair limit"
                 )
+            if full:
+                next_page = tree._pager.allocate()
+                current.next_leaf = next_page
+                level.append((current_page, current.keys[0]))
+                tree._install(current_page, current)
+                current = LeafNode()
+                current_page = next_page
+                full = False
             current.keys.append(key)
             current.values.append(value)
             if current.serialized_size() > budget:
-                leaves.append((tree._adopt(current), current))
-                current = LeafNode()
-        if current.keys or not leaves:
-            leaves.append((tree._adopt(current), current))
-        for (page_id, leaf), (next_page, _) in zip(leaves, leaves[1:]):
-            leaf.next_leaf = next_page
+                full = True
+        level.append((current_page, current.keys[0]))
+        tree._install(current_page, current)
 
         # Reuse the root page allocated by __init__ for the final root.
         spare_root_page = tree._root_page
 
         # Build internal levels.
-        level: list[tuple[int, bytes]] = [
-            (page_id, leaf.keys[0]) for page_id, leaf in leaves
-        ]
         while len(level) > 1:
             parents: list[tuple[int, bytes]] = []
             index = 0
@@ -271,7 +336,14 @@ class BPlusTree:
         final_page, _ = level[0]
         # Swap the built root into the pre-allocated root page so open()
         # semantics stay simple (root never moves after a bulk load).
-        tree._nodes[spare_root_page] = tree._nodes.pop(final_page)
+        # With a bounded node table, the final node may already have
+        # been evicted to its page; fault it back for the move.
+        slot = tree._nodes.pop(final_page, None)
+        if slot is not None:
+            root_node = slot.node
+        else:
+            root_node = deserialize_node(tree._pager.read(final_page))
+        tree._install(spare_root_page, root_node)
         tree._root_page = spare_root_page
         tree._entry_count = len(pairs)
         return tree
@@ -341,6 +413,14 @@ class BPlusTree:
         Lazy deletion: nodes may underflow; structure is untouched.
         Returns ``True`` when an entry was removed.
         """
+        self._hold += 1
+        try:
+            return self._delete_held(key, value)
+        finally:
+            self._hold -= 1
+            self._evict_nodes()
+
+    def _delete_held(self, key: bytes, value: bytes | None) -> bool:
         page_id = self._leaf_for(key)
         while page_id != NO_LEAF:
             node = self._node(page_id)
@@ -373,12 +453,22 @@ class BPlusTree:
         self._pager.flush()
 
     @classmethod
-    def open(cls, pager: Pager, root_page: int, entry_count: int) -> "BPlusTree":
+    def open(
+        cls,
+        pager: Pager,
+        root_page: int,
+        entry_count: int,
+        node_cache: int | None = None,
+    ) -> "BPlusTree":
         """Reattach to a tree previously :meth:`flush`\\ ed to ``pager``."""
+        if node_cache is not None and node_cache < 1:
+            raise BTreeError(f"node_cache must be >= 1, got {node_cache}")
         tree = cls.__new__(cls)
         tree._pager = pager
         tree.stats = BTreeStats()
-        tree._nodes = {}
+        tree._nodes = OrderedDict()
+        tree._node_cache = node_cache
+        tree._hold = 0
         tree._root_page = root_page
         tree._entry_count = entry_count
         tree._max_pair = pager.page_size // 4
@@ -390,8 +480,13 @@ class BPlusTree:
 
     def _adopt(self, node: LeafNode | InternalNode) -> int:
         page_id = self._pager.allocate()
-        self._nodes[page_id] = _Slot(node, dirty=True)
+        self._install(page_id, node)
         return page_id
+
+    def _install(self, page_id: int, node: LeafNode | InternalNode) -> None:
+        self._nodes[page_id] = _Slot(node, dirty=True)
+        self._nodes.move_to_end(page_id)
+        self._evict_nodes()
 
     def _node(self, page_id: int, count: bool = True) -> LeafNode | InternalNode:
         if count:
@@ -401,10 +496,26 @@ class BPlusTree:
             node = deserialize_node(self._pager.read(page_id))
             slot = _Slot(node, dirty=False)
             self._nodes[page_id] = slot
+            self._evict_nodes()
+        else:
+            self._nodes.move_to_end(page_id)
         return slot.node
 
     def _dirty(self, page_id: int) -> None:
         self._nodes[page_id].dirty = True
+
+    def _evict_nodes(self) -> None:
+        """Trim the node table to ``node_cache`` entries, coldest first.
+        Deferred while a mutating operation holds node objects."""
+        if self._node_cache is None or self._hold:
+            return
+        while len(self._nodes) > self._node_cache:
+            page_id, slot = self._nodes.popitem(last=False)
+            if slot.dirty:
+                self._pager.write(
+                    page_id, slot.node.serialize(self._pager.page_size)
+                )
+            self.stats.node_evictions += 1
 
     def check_invariants(self) -> None:
         """Verify structural invariants; raises :class:`BTreeError` on

@@ -34,6 +34,7 @@ from repro.core import (
     FixIndex,
     FixIndexConfig,
     FixQueryProcessor,
+    ShardedFixIndex,
     evaluate_pruning,
     load_index,
     save_index,
@@ -95,6 +96,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record a JSONL span trace of the build to PATH "
         "(overwrites; inspect with 'repro trace PATH')",
     )
+    build.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="partition documents into N independent shards (N>1 saves "
+        "a sharded index; query answers are pointer-identical to the "
+        "single-index build)",
+    )
+    build.add_argument(
+        "--shard-affinity", choices=["hash", "root-label"], default="hash",
+        help="shard routing: stable document hash (default) or root "
+        "label (clusters look-alike documents, enabling shard skipping "
+        "on anchored queries)",
+    )
+    build.add_argument(
+        "--page-cache-pages", type=int, default=None, metavar="P",
+        help="buffer-pool bound, in pages, for every file-backed pager "
+        "(default 256; only file-backed pagers evict)",
+    )
+    build.add_argument(
+        "--spill-dir", metavar="DIR", default=None,
+        help="build out-of-core: shard stores and B-trees go straight "
+        "to files under DIR instead of memory (sharded builds only)",
+    )
 
     query = commands.add_parser("query", help="query a saved index")
     query.add_argument("index_dir", metavar="DIR")
@@ -128,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="append a JSONL span trace of the run to PATH (build and "
         "query traces can share one file)",
+    )
+    query.add_argument(
+        "--page-cache-pages", type=int, default=None, metavar="P",
+        help="override the saved buffer-pool bound for this session",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved index")
@@ -190,6 +217,9 @@ def _cmd_build(args: argparse.Namespace) -> int:
             depth_limit = 0
     from repro.obs import ObsConfig
 
+    overrides = {}
+    if args.page_cache_pages is not None:
+        overrides["page_cache_pages"] = args.page_cache_pages
     config = FixIndexConfig(
         depth_limit=depth_limit,
         clustered=args.clustered,
@@ -198,52 +228,85 @@ def _cmd_build(args: argparse.Namespace) -> int:
         feature_cache=not args.no_cache,
         prune_backend=args.prune_backend,
         eigen_solver=args.eigen_solver,
+        shards=args.shards,
+        shard_affinity=args.shard_affinity,
+        spill_dir=args.spill_dir,
         obs=ObsConfig(trace=bool(args.trace), trace_path=args.trace),
+        **overrides,
     )
     started = time.perf_counter()
-    index = FixIndex.build(store, config)
-    seconds = time.perf_counter() - started
-    store.save(os.path.join(args.out, "store"))
-    save_index(index, args.out)
-    print(
-        f"built {index!r} in {seconds:.2f}s -> {args.out} "
-        f"({index.size_bytes() / 1e6:.2f} MB B-tree)"
-    )
-    stats = index.report.stats
-    phases = " ".join(
-        f"{phase}={seconds:.2f}s"
-        for phase, seconds in index.report.timings.as_dict().items()
-    )
-    print(f"  phases: {phases}")
-    print(
-        f"  eigen: {stats.eigen_computations} solved "
-        f"(solver={index.report.eigen_solver}), "
-        f"{stats.cache_hits} cache hits, "
-        f"{stats.oversized_patterns} oversized"
-    )
-    if stats.eigen_batches:
-        sizes = sorted(stats.eigen_batch_sizes.items())
-        histogram = " ".join(f"{size}x{count}" for size, count in sizes)
+    if args.shards > 1:
+        index = ShardedFixIndex.build(store, config)
+        seconds = time.perf_counter() - started
+        index.save(args.out)
         print(
-            f"  eigen batches: {stats.eigen_batches} stacked solves "
-            f"(size x calls: {histogram})"
+            f"built {index!r} in {seconds:.2f}s -> {args.out} "
+            f"({index.size_bytes() / 1e6:.2f} MB B-trees)"
         )
+        entries = " ".join(
+            f"shard{shard_id}={shard.entry_count}"
+            for shard_id, shard in enumerate(index.shards)
+        )
+        print(f"  entries: {entries}")
+        pager = index.pager_stats()
+        print(
+            f"  pager: {pager.logical_reads} reads, "
+            f"{pager.hit_rate:.1%} cache hit rate, "
+            f"{pager.evictions} evictions"
+        )
+    else:
+        index = FixIndex.build(store, config)
+        seconds = time.perf_counter() - started
+        store.save(os.path.join(args.out, "store"))
+        save_index(index, args.out)
+        print(
+            f"built {index!r} in {seconds:.2f}s -> {args.out} "
+            f"({index.size_bytes() / 1e6:.2f} MB B-tree)"
+        )
+        stats = index.report.stats
+        phases = " ".join(
+            f"{phase}={seconds:.2f}s"
+            for phase, seconds in index.report.timings.as_dict().items()
+        )
+        print(f"  phases: {phases}")
+        print(
+            f"  eigen: {stats.eigen_computations} solved "
+            f"(solver={index.report.eigen_solver}), "
+            f"{stats.cache_hits} cache hits, "
+            f"{stats.oversized_patterns} oversized"
+        )
+        if stats.eigen_batches:
+            sizes = sorted(stats.eigen_batch_sizes.items())
+            histogram = " ".join(f"{size}x{count}" for size, count in sizes)
+            print(
+                f"  eigen batches: {stats.eigen_batches} stacked solves "
+                f"(size x calls: {histogram})"
+            )
     if args.trace:
         written = index.obs.flush(args.trace)
         print(f"  trace: {written} event(s) -> {args.trace}")
     return 0
 
 
-def _open(index_dir: str) -> tuple[PrimaryXMLStore, FixIndex]:
+def _open(index_dir: str, page_cache_pages: int | None = None):
+    """Reattach to a saved index — sharded (``sharded.json`` manifest)
+    or single — returning ``(store, index)``."""
+    if ShardedFixIndex.is_sharded(index_dir):
+        index = ShardedFixIndex.load(
+            index_dir, page_cache_pages=page_cache_pages
+        )
+        return index.store, index
     store = PrimaryXMLStore.load(os.path.join(index_dir, "store"))
-    return store, load_index(index_dir, store)
+    return store, load_index(
+        index_dir, store, page_cache_pages=page_cache_pages
+    )
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import QueryMetricsLog
     from repro.obs import Obs
 
-    store, index = _open(args.index_dir)
+    store, index = _open(args.index_dir, args.page_cache_pages)
     obs = Obs(trace=bool(args.trace))
     log = QueryMetricsLog(registry=obs.registry)
     processor = FixQueryProcessor(
@@ -295,22 +358,51 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     _, index = _open(args.index_dir)
     config = index.config
+    sharded = isinstance(index, ShardedFixIndex)
     print(f"{index!r}")
     print(f"  entries:        {index.entry_count}")
-    print(f"  B-tree:         {index.size_bytes() / 1e6:.2f} MB, "
-          f"height {index.btree.height()}")
+    if sharded:
+        heights = "/".join(
+            str(shard.btree.height()) for shard in index.shards
+        )
+        print(f"  shards:         {index.shard_count} "
+              f"(affinity {config.shard_affinity})")
+        print(f"  B-trees:        {index.size_bytes() / 1e6:.2f} MB, "
+              f"heights {heights}")
+        for shard_id, shard in enumerate(index.shards):
+            print(f"    shard {shard_id}: {shard.entry_count} entries, "
+                  f"{shard.store.document_count} documents")
+    else:
+        print(f"  B-tree:         {index.size_bytes() / 1e6:.2f} MB, "
+              f"height {index.btree.height()}")
     if index.clustered_store is not None:
         print(f"  clustered copy: {index.clustered_store.size_bytes() / 1e6:.2f} MB, "
               f"{index.clustered_store.unit_count} units")
     print(f"  depth limit:    {config.depth_limit}")
     print(f"  value buckets:  {config.value_buckets}")
     print(f"  edge labels:    {len(index.encoder)}")
-    cache = index.report.cache_summary()
-    lookups = cache["hits"] + cache["misses"]
+    pager = index.pager_stats()
     print(
-        f"  spectral cache: {cache['patterns']} patterns, "
-        f"{cache['hits']}/{lookups} hits ({cache['hit_rate']:.1%})"
+        f"  buffer pool:    {config.page_cache_pages} pages per pager, "
+        f"{pager.hit_rate:.1%} hit rate "
+        f"({pager.cache_hits}/{pager.logical_reads} reads), "
+        f"{pager.evictions} evictions this process"
     )
+    if sharded:
+        hits = sum(s.report.stats.cache_hits for s in index.shards)
+        misses = sum(s.report.stats.cache_misses for s in index.shards)
+        lookups = hits + misses
+        print(
+            f"  spectral cache: {hits}/{lookups} hits "
+            f"({hits / lookups if lookups else 0.0:.1%})"
+        )
+    else:
+        cache = index.report.cache_summary()
+        lookups = cache["hits"] + cache["misses"]
+        print(
+            f"  spectral cache: {cache['patterns']} patterns, "
+            f"{cache['hits']}/{lookups} hits ({cache['hit_rate']:.1%})"
+        )
     counters = index.obs.registry.snapshot()["counters"]
     plan_hits = counters.get("query.plan_cache.hits", 0.0)
     plan_lookups = plan_hits + counters.get("query.plan_cache.misses", 0.0)
@@ -350,6 +442,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.core.verify import verify_index
 
     _, index = _open(args.index_dir)
+    if isinstance(index, ShardedFixIndex):
+        ok = True
+        for shard_id, shard in enumerate(index.shards):
+            report = verify_index(shard, recompute_keys=not args.fast)
+            print(f"shard {shard_id}: {report.summary()}")
+            for problem in report.problems:
+                print(f"  {problem}")
+            ok = ok and report.ok
+        return 0 if ok else 1
     report = verify_index(index, recompute_keys=not args.fast)
     print(report.summary())
     for problem in report.problems:

@@ -26,6 +26,7 @@ from repro.core.optimizer import AccessPath, CostModel, ExplainedPlan, QueryOpti
 from repro.core.persistence import load_index, save_index
 from repro.core.plan import PlanCache, QueryPlan, build_plan
 from repro.core.processor import FixQueryProcessor, FixQueryResult
+from repro.core.sharding import ShardedFixIndex
 from repro.core.stats import FeatureHistogram
 from repro.core.values import ValueHasher
 from repro.core.verify import VerificationReport, verify_index
@@ -48,6 +49,7 @@ __all__ = [
     "QueryMetricsLog",
     "QueryPlan",
     "QueryRecord",
+    "ShardedFixIndex",
     "ValueHasher",
     "build_plan",
     "evaluate_pruning",

@@ -103,6 +103,25 @@ class FixIndexConfig:
             the built index is byte-identical and query results are
             pointer-identical with tracing on or off.  Runtime-only —
             never persisted with the index.
+        shards: number of independent index shards (DESIGN.md §11).
+            ``1`` is a plain single index; ``k > 1`` is interpreted by
+            :class:`~repro.core.sharding.ShardedFixIndex` — a
+            :class:`FixIndex` itself always manages one shard's worth
+            of data and ignores this field.
+        shard_affinity: document-routing policy for sharded indexes —
+            ``"hash"`` (stable content hash, the default) or
+            ``"root-label"`` (documents sharing a root label land in
+            the same shard, which makes anchored queries skip whole
+            shards).
+        page_cache_pages: buffer-pool capacity, in pages, for every
+            file-backed pager this index (or its shards) opens.
+        spill_dir: directory for out-of-core build state.  ``None``
+            (default) builds fully in memory — byte-for-byte the
+            historical behavior.  A path makes the B-tree file-backed
+            under the ``page_cache_pages`` pool (shards spill under
+            ``spill_dir/shard-<i>/``).
+        btree_node_cache: bound on parsed B-tree nodes kept resident
+            (``None`` = unbounded, the in-memory default).
     """
 
     depth_limit: int = 0
@@ -116,6 +135,11 @@ class FixIndexConfig:
     prune_backend: str = "btree"
     eigen_solver: str | None = None
     obs: ObsConfig | None = None
+    shards: int = 1
+    shard_affinity: str = "hash"
+    page_cache_pages: int = 256
+    spill_dir: str | None = None
+    btree_node_cache: int | None = None
 
     def __post_init__(self) -> None:
         if self.prune_backend not in ("btree", "rtree"):
@@ -125,6 +149,28 @@ class FixIndexConfig:
             )
         if self.eigen_solver is not None:
             resolve_solver(self.eigen_solver)  # validates the name
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.shard_affinity not in ("hash", "root-label"):
+            raise ValueError(
+                f"unknown shard affinity {self.shard_affinity!r} "
+                "(expected 'hash' or 'root-label')"
+            )
+        if self.clustered and self.shards > 1:
+            raise ValueError(
+                "clustered indexes cannot be sharded (the copy store is "
+                "laid out in global key order)"
+            )
+        if self.clustered and self.spill_dir is not None:
+            raise ValueError("clustered indexes build in memory; no spill_dir")
+        if self.page_cache_pages < 1:
+            raise ValueError(
+                f"need at least one cache page, got {self.page_cache_pages}"
+            )
+        if self.btree_node_cache is not None and self.btree_node_cache < 1:
+            raise ValueError(
+                f"btree_node_cache must be >= 1, got {self.btree_node_cache}"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -201,18 +247,34 @@ class FixIndex:
         self,
         store: PrimaryXMLStore,
         config: FixIndexConfig | None = None,
+        *,
+        encoder: EdgeLabelEncoder | None = None,
+        feature_cache: FeatureCache | None = None,
+        obs: Obs | None = None,
     ) -> None:
+        """``encoder``/``feature_cache``/``obs`` are injection points
+        for a :class:`~repro.core.sharding.ShardedFixIndex` coordinator,
+        which shares one encoder (and optionally one spectral cache)
+        across every shard so feature keys agree index-wide.  Left as
+        ``None`` (the default) each index owns private instances."""
         self.store = store
         self.config = config or FixIndexConfig()
-        self.encoder = EdgeLabelEncoder()
-        self.btree = BPlusTree()
+        self.encoder = encoder if encoder is not None else EdgeLabelEncoder()
+        self.btree = BPlusTree(
+            self._fresh_btree_pager(), node_cache=self.config.btree_node_cache
+        )
         self.value_hasher = (
             ValueHasher(self.config.value_buckets)
             if self.config.value_buckets is not None
             else None
         )
         self.clustered_store = ClusteredStore() if self.config.clustered else None
-        self.feature_cache = FeatureCache() if self.config.feature_cache else None
+        if feature_cache is not None:
+            self.feature_cache: FeatureCache | None = feature_cache
+        else:
+            self.feature_cache = (
+                FeatureCache() if self.config.feature_cache else None
+            )
         #: the resolved spectral solver (config choice, else the
         #: process default), shared by build and query feature paths.
         self.eigen_solver = resolve_solver(self.config.eigen_solver)
@@ -220,7 +282,7 @@ class FixIndex:
         #: registry every view over this index reads, plus the span
         #: tracer (enabled via ``config.obs``).  Shared by the entry
         #: generator and, by default, every processor over this index.
-        self.obs = Obs.from_config(self.config.obs)
+        self.obs = obs if obs is not None else Obs.from_config(self.config.obs)
         self._generator = EntryGenerator(
             self.encoder,
             self.config.depth_limit,
@@ -262,34 +324,61 @@ class FixIndex:
         included — is independent of the worker count (DESIGN.md §7).
         """
         index = cls(store, config)
+        index.rebuild()
+        return index
+
+    def rebuild(self, *, seed: bool = True) -> None:
+        """Run the full construction pipeline over the current store.
+
+        ``seed=False`` skips the deterministic encoder pre-pass — the
+        caller (a sharded coordinator) has already registered every
+        edge-label pair in global document order, so re-seeding here
+        would only re-parse every document for nothing.
+        """
         started = time.perf_counter()
-        with index.obs.span(
+        with self.obs.span(
             "build",
-            depth_limit=index.config.depth_limit,
-            workers=index.config.workers,
-            solver=index.eigen_solver,
-            clustered=index.config.clustered,
+            depth_limit=self.config.depth_limit,
+            workers=self.config.workers,
+            solver=self.eigen_solver,
+            clustered=self.config.clustered,
         ) as build_span:
-            with index.obs.span("build.stage") as stage_span:
-                staged = index._stage_entries()
+            with self.obs.span("build.stage") as stage_span:
+                staged = self._stage_entries(seed=seed)
                 stage_span.set(
                     entries=len(staged),
-                    documents=index.report.stats.documents,
+                    documents=self.report.stats.documents,
                 )
             insert_started = time.perf_counter()
-            with index.obs.span("build.insert", entries=len(staged)):
-                if index.config.clustered:
-                    index._load_clustered(staged)
+            with self.obs.span("build.insert", entries=len(staged)):
+                if self.config.clustered:
+                    self._load_clustered(staged)
                 else:
-                    index._load_unclustered(staged)
-            index.report.timings.insert += time.perf_counter() - insert_started
+                    self._load_unclustered(staged)
+            self.report.timings.insert += time.perf_counter() - insert_started
             build_span.set(entries=len(staged))
-        index.report.seconds = time.perf_counter() - started
-        index.report.btree_bytes = index.btree.size_bytes()
-        if index.clustered_store is not None:
-            index.report.clustered_bytes = index.clustered_store.size_bytes()
-        index._publish_build_metrics()
-        return index
+        self.report.seconds = time.perf_counter() - started
+        self.report.btree_bytes = self.btree.size_bytes()
+        if self.clustered_store is not None:
+            self.report.clustered_bytes = self.clustered_store.size_bytes()
+        self._publish_build_metrics()
+
+    def _fresh_btree_pager(self):
+        """A pager for a new B-tree: in-memory by default, file-backed
+        under ``spill_dir`` (with the configured buffer pool) for
+        out-of-core builds.  Any stale spill file is discarded — a
+        fresh tree starts from page zero."""
+        if self.config.spill_dir is None:
+            return None
+        import os
+
+        os.makedirs(self.config.spill_dir, exist_ok=True)
+        path = os.path.join(self.config.spill_dir, "btree.pages")
+        if os.path.exists(path):
+            os.remove(path)
+        from repro.storage import Pager
+
+        return Pager(path, cache_pages=self.config.page_cache_pages)
 
     def _publish_build_metrics(self) -> None:
         """Sync construction stats and sizes into the obs registry (the
@@ -298,6 +387,7 @@ class FixIndex:
         Table-1 accounting without hot-path counter traffic."""
         registry = self.obs.registry
         self._generator.stats.publish(registry)
+        self.pager_stats().publish(registry)
         registry.gauge("index.entries").set(self.entry_count)
         registry.gauge("index.btree_bytes").set(self.btree.size_bytes())
         registry.gauge("index.generation").set(self.generation)
@@ -310,7 +400,7 @@ class FixIndex:
                 self.clustered_store.size_bytes()
             )
 
-    def _stage_entries(self) -> list[tuple[bytes, int, int]]:
+    def _stage_entries(self, seed: bool = True) -> list[tuple[bytes, int, int]]:
         """Generate ``(encoded key, doc_id, node_id)`` for every entry,
         in document order (generation order within a document)."""
         timings = self._generator.timings
@@ -318,9 +408,12 @@ class FixIndex:
         # Deterministic encoder pre-pass: register every edge-label pair
         # in doc_id/document order before any feature is computed, so
         # code assignment (hence every eigenvalue) is independent of the
-        # staging strategy.  See DESIGN.md §7.
+        # staging strategy.  See DESIGN.md §7.  A sharded coordinator
+        # seeds the shared encoder globally instead (``seed=False``).
         for doc_id in self.store.doc_ids():
             doc_ids.append(doc_id)
+            if not seed:
+                continue
             started = time.perf_counter()
             document = self.store.get_document(doc_id)
             timings.parse += time.perf_counter() - started
@@ -391,7 +484,13 @@ class FixIndex:
             for key, doc_id, node_id in staged
         ]
         pairs.sort(key=lambda pair: pair[0])
-        self.btree = BPlusTree.bulk_load(pairs)
+        if not self.btree.pager.in_memory:
+            self.btree.pager.close()  # release the stale spill file
+        self.btree = BPlusTree.bulk_load(
+            pairs,
+            pager=self._fresh_btree_pager(),
+            node_cache=self.config.btree_node_cache,
+        )
 
     def _load_clustered(self, staged: list[tuple[bytes, int, int]]) -> None:
         # Clustering requires the copies laid out in key order: sort the
@@ -440,14 +539,17 @@ class FixIndex:
             UnsupportedQueryError: never; ``ReproError`` via
                 :class:`~repro.errors.StorageError` when clustered.
         """
-        from repro.errors import StorageError
-
-        if self.config.clustered:
-            raise StorageError(
-                "clustered FIX indexes are build-once (the copy store is "
-                "key-ordered); rebuild instead"
-            )
+        self._require_unclustered()
         doc_id = self.store.add_document(document)
+        self.index_document(doc_id, document)
+        return doc_id
+
+    def index_document(self, doc_id: int, document) -> None:
+        """Generate and insert the index entries for an already-stored
+        document (the indexing half of :meth:`add_document` — a sharded
+        coordinator stores under a global id first, then indexes here).
+        """
+        self._require_unclustered()
         with self.obs.span("index.add_document", doc=doc_id):
             for entry in self._generator.entries_for(document):
                 key = self._encode_key(entry.key)
@@ -455,7 +557,15 @@ class FixIndex:
         self.report.btree_bytes = self.btree.size_bytes()
         self.generation += 1
         self._publish_build_metrics()
-        return doc_id
+
+    def _require_unclustered(self) -> None:
+        from repro.errors import StorageError
+
+        if self.config.clustered:
+            raise StorageError(
+                "clustered FIX indexes are build-once (the copy store is "
+                "key-ordered); rebuild instead"
+            )
 
     def remove_document(self, doc_id: int) -> int:
         """Remove a document and all of its index entries.
@@ -464,13 +574,7 @@ class FixIndex:
         encoder, same memoized classes) to find their keys, then deleted
         pairwise from the B-tree.  Returns the number of entries removed.
         """
-        from repro.errors import StorageError
-
-        if self.config.clustered:
-            raise StorageError(
-                "clustered FIX indexes are build-once (the copy store is "
-                "key-ordered); rebuild instead"
-            )
+        self._require_unclustered()
         document = self.store.get_document(doc_id)
         # A throwaway generator (sharing the encoder, so keys come out
         # identical) regenerates this document's entries without
@@ -603,6 +707,28 @@ class FixIndex:
             pointer = NodePointer.unpack(raw_value[8:16])
             return IndexEntry(key, pointer, record)
         return IndexEntry(key, NodePointer.unpack(raw_value))
+
+    def pager_stats(self):
+        """Combined access counters of every pager this index touches
+        (B-tree pages, primary store, clustered copies).
+
+        Returns:
+            :class:`~repro.storage.pager.PagerStats` (a summed copy).
+        """
+        from repro.storage.pager import PagerStats
+
+        sources = [self.btree.pager.stats, self.store.pager.stats]
+        if self.clustered_store is not None:
+            sources.append(self.clustered_store.pager.stats)
+        return PagerStats.combine(sources)
+
+    def publish_scan_stats(self, registry) -> None:
+        """Sync the scan-side counters — B-tree visits plus buffer-pool
+        hits/misses/evictions (``pager.*``) — into a metrics registry.
+        The processor calls this after every query, so ``repro stats``
+        and flushed traces carry pool residency behaviour."""
+        self.btree.stats.publish(registry)
+        self.pager_stats().publish(registry)
 
     def spatial_view(self):
         """The per-label R-tree view of this index's feature points,

@@ -56,6 +56,22 @@ class CostModel:
     scan_cost: float = 1.0
 
 
+def shard_scan_cost(
+    histogram: FeatureHistogram,
+    query_key,
+    anchored: bool = True,
+    model: CostModel | None = None,
+) -> float:
+    """Estimated cost of running one shard's pruning scan for a query
+    feature key: a B-tree descent plus the histogram's candidate
+    estimate, under the same :class:`CostModel` the access-path chooser
+    uses.  A sharded coordinator orders its scatter most-selective-
+    shard-first by this number (DESIGN.md §11)."""
+    model = model or CostModel()
+    estimate = histogram.estimate_candidates(query_key, anchored=anchored)
+    return model.descent_cost + estimate * model.candidate_cost
+
+
 @dataclass
 class ExplainedPlan:
     """A chosen plan plus everything that went into choosing it."""

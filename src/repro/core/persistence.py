@@ -16,6 +16,7 @@ the CRC-based value hash are both persisted/deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 
@@ -55,6 +56,13 @@ def save_index(index: FixIndex, directory: str) -> None:
             "feature_cache": index.config.feature_cache,
             "prune_backend": index.config.prune_backend,
             "eigen_solver": index.config.eigen_solver,
+            "shards": index.config.shards,
+            "shard_affinity": index.config.shard_affinity,
+            "page_cache_pages": index.config.page_cache_pages,
+            # spill_dir is a build-time location, not an index property:
+            # a reattached index reads its pages from the save directory.
+            "spill_dir": None,
+            "btree_node_cache": index.config.btree_node_cache,
         },
         "encoder": index.encoder.to_dict(),
         "btree": {
@@ -85,7 +93,12 @@ def save_index(index: FixIndex, directory: str) -> None:
         json.dump(meta, handle, indent=2)
 
 
-def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
+def load_index(
+    directory: str,
+    store: PrimaryXMLStore,
+    *,
+    page_cache_pages: int | None = None,
+) -> FixIndex:
     """Reattach to an index previously saved with :func:`save_index`.
 
     Args:
@@ -93,6 +106,8 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
         store: the primary store the index was built over.  The caller is
             responsible for it containing the same documents; entries
             point into it by ``(doc_id, node_id)``.
+        page_cache_pages: override the saved buffer-pool bound for this
+            session (the on-disk config is not modified).
 
     Raises:
         StorageError: missing/unreadable directory or format mismatch.
@@ -112,6 +127,8 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
         )
 
     config = FixIndexConfig(**meta["config"])
+    if page_cache_pages is not None:
+        config = dataclasses.replace(config, page_cache_pages=page_cache_pages)
     index = FixIndex(store, config)
     index.encoder = EdgeLabelEncoder.from_dict(meta["encoder"])
     index._generator.encoder = index.encoder
@@ -120,9 +137,13 @@ def load_index(directory: str, store: PrimaryXMLStore) -> FixIndex:
     pager = Pager(
         os.path.join(directory, _BTREE_FILE),
         page_size=btree_meta["page_size"],
+        cache_pages=config.page_cache_pages,
     )
     index.btree = BPlusTree.open(
-        pager, btree_meta["root_page"], btree_meta["entry_count"]
+        pager,
+        btree_meta["root_page"],
+        btree_meta["entry_count"],
+        node_cache=config.btree_node_cache,
     )
     if config.clustered:
         clustered_path = os.path.join(directory, _CLUSTERED_FILE)

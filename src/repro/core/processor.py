@@ -312,7 +312,7 @@ class FixQueryProcessor:
     def _publish_query_metrics(self, result: FixQueryResult) -> None:
         """Publish ``query.*`` metrics plus backend scan counters."""
         registry = self.obs.registry
-        self.index.btree.stats.publish(registry)
+        self.index.publish_scan_stats(registry)
         if self.prune_backend == "rtree":
             self.index.spatial_view().publish(registry)
         if self.plan_cache is not None:

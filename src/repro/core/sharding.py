@@ -1,0 +1,651 @@
+"""Sharded FIX index: partition-then-scatter-gather (DESIGN.md §11).
+
+A :class:`ShardedFixIndex` partitions documents across ``N`` independent
+shards.  Each shard is a complete, self-contained :class:`FixIndex` — its
+own primary store, B-tree, spectral views, pagers — while the coordinator
+exposes the single-index surface (``build`` / ``candidates_for_key`` /
+``add_document`` / ``remove_document`` / ``save`` / ``load`` / stats), so
+:class:`~repro.core.processor.FixQueryProcessor`, the optimizer, and the
+CLI work over it unchanged.
+
+The invariants that make the coordinator transparent:
+
+* **Global document ids.**  Shard stores keep the coordinator's ids
+  (tombstoning the gaps owned by sibling shards), so the 8-byte
+  ``NodePointer`` values in every shard's B-tree are already global —
+  no pointer translation exists anywhere.
+* **One shared encoder.**  Every shard indexes under the coordinator's
+  :class:`~repro.spectral.EdgeLabelEncoder`, pre-seeded over *all*
+  documents in global doc-id order before any shard builds — the same
+  determinism invariant the parallel build keeps (DESIGN.md §7).  A
+  query's feature key is therefore valid against every shard, and the
+  union of shard candidates is exactly the single index's candidate
+  multiset: query answers are pointer-identical for any shard count.
+* **Scatter-gather with selectivity ordering.**  A pruning scan visits
+  shards most-selective-first, ordered by the per-shard λ_max histogram
+  under the optimizer's cost model, and *skips* shards whose histogram
+  proves the scan empty (exact per-label endpoints make the zero-
+  estimate sound — :meth:`~repro.core.stats.FeatureHistogram.may_contain`).
+  With ``shard_affinity="root-label"``, anchored queries typically visit
+  a single shard.  Skip/visit counts publish as ``shards.*`` counters.
+* **Failure containment.**  Storage or B-tree damage inside one shard
+  surfaces as a typed :class:`~repro.errors.ShardError` naming the
+  shard, instead of poisoning the gather with a low-level exception.
+
+Cross-shard refinement needs no machinery of its own: the processor's
+grouped refinement batches candidates per document and fans the groups
+out across the persistent refinement worker pools (PR 2), and since
+shard candidates are plain global-pointer entries, groups from every
+shard ride the same pools in one pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from collections.abc import Iterator
+
+from repro.core.construction import seed_encoder
+from repro.core.index import FixIndex, FixIndexConfig, IndexEntry
+from repro.core.persistence import load_index, save_index
+from repro.core.stats import FeatureHistogram
+from repro.core.values import ValueHasher
+from repro.errors import BTreeError, RecordError, ShardError, StorageError
+from repro.obs import Obs
+from repro.query.twig import TwigQuery
+from repro.spectral import EdgeLabelEncoder, FeatureCache, FeatureKey
+from repro.storage import NodePointer, Pager, PrimaryXMLStore
+from repro.storage.pager import PagerStats
+from repro.xmltree import Document, parse_xml, serialize_fragment
+
+_MANIFEST_FILE = "sharded.json"
+_FORMAT_VERSION = 1
+
+#: cheap root-label peek for routing raw sources without a full parse:
+#: skip the XML declaration / comments / doctype, take the first tag name.
+_ROOT_TAG = re.compile(
+    rb"\s*(?:<\?.*?\?>\s*|<!--.*?-->\s*|<!DOCTYPE[^>]*>\s*)*<\s*([^\s>/!?]+)",
+    re.DOTALL,
+)
+
+
+def shard_directory(base: str, shard_id: int) -> str:
+    """The on-disk directory of one shard under a sharded index root."""
+    return os.path.join(base, f"shard-{shard_id}")
+
+
+class _ShardRouter:
+    """A :class:`PrimaryXMLStore`-shaped facade over the shard stores.
+
+    Global doc ids route straight to the owning shard's store, so the
+    refinement engines (and the optimizer's full-scan fallback) read
+    documents without knowing shards exist.
+    """
+
+    def __init__(self, owner: "ShardedFixIndex") -> None:
+        self._owner = owner
+
+    def _store(self, doc_id: int) -> PrimaryXMLStore:
+        return self._owner.shard_for_document(doc_id).store
+
+    @property
+    def document_count(self) -> int:
+        return sum(1 for shard_id in self._owner.routing if shard_id is not None)
+
+    def doc_ids(self) -> Iterator[int]:
+        return (
+            doc_id
+            for doc_id, shard_id in enumerate(self._owner.routing)
+            if shard_id is not None
+        )
+
+    def get_document(self, doc_id: int) -> Document:
+        return self._store(doc_id).get_document(doc_id)
+
+    def get_source(self, doc_id: int) -> str:
+        return self._store(doc_id).get_source(doc_id)
+
+    def resolve(self, pointer: NodePointer):
+        return self._store(pointer.doc_id).resolve(pointer)
+
+    def size_bytes(self) -> int:
+        return sum(shard.store.size_bytes() for shard in self._owner.shards)
+
+
+class _ShardedSpatialView:
+    """Scatter-gather facade over the per-shard R-tree views, with the
+    same skip/ordering policy as the B-tree scatter."""
+
+    def __init__(self, owner: "ShardedFixIndex") -> None:
+        self._owner = owner
+
+    def candidates_for_key(
+        self, query_key: FeatureKey, anchored: bool = True
+    ) -> Iterator[IndexEntry]:
+        for shard_id in self._owner._scan_order(query_key, anchored):
+            shard = self._owner.shards[shard_id]
+            try:
+                yield from shard.spatial_view().candidates_for_key(
+                    query_key, anchored=anchored
+                )
+            except (StorageError, BTreeError) as exc:
+                raise ShardError(
+                    f"shard {shard_id}: R-tree scan failed: {exc}",
+                    shard=shard_id,
+                ) from exc
+
+    def entries_inspected(self) -> int:
+        return sum(
+            shard.spatial_view().entries_inspected()
+            for shard in self._owner.shards
+        )
+
+    def nodes_visited(self) -> int:
+        return sum(
+            shard.spatial_view().nodes_visited() for shard in self._owner.shards
+        )
+
+    def publish(self, registry, prefix: str = "rtree.") -> None:
+        registry.sync_counter(prefix + "entries_inspected", self.entries_inspected())
+        registry.sync_counter(prefix + "nodes_visited", self.nodes_visited())
+
+
+class ShardedFixIndex:
+    """Coordinator over ``config.shards`` independent :class:`FixIndex`
+    shards, duck-typing the single-index surface.
+
+    Build with :meth:`build` (redistributing an existing store) or
+    :meth:`build_from_sources` (streaming raw documents — the
+    out-of-core path, which never materializes a monolithic store).
+    """
+
+    def __init__(self, config: FixIndexConfig | None = None) -> None:
+        config = config or FixIndexConfig()
+        if config.clustered:
+            raise StorageError(
+                "clustered indexes cannot be sharded (the copy store is "
+                "laid out in global key order)"
+            )
+        self.config = config
+        #: one encoder for every shard (the index-wide key agreement).
+        self.encoder = EdgeLabelEncoder()
+        self.value_hasher = (
+            ValueHasher(config.value_buckets)
+            if config.value_buckets is not None
+            else None
+        )
+        #: one spectral feature cache shared by every shard: structural
+        #: templates repeat across shard boundaries just as they repeat
+        #: across documents.
+        self.feature_cache = FeatureCache() if config.feature_cache else None
+        self.obs = Obs.from_config(config.obs)
+        #: doc_id -> owning shard (None = removed), the routing table.
+        self.routing: list[int | None] = []
+        self.clustered_store = None
+        self.generation = 0
+        self.shards: list[FixIndex] = [
+            self._new_shard(shard_id) for shard_id in range(config.shards)
+        ]
+        self.store = _ShardRouter(self)
+        self._spatial_view: _ShardedSpatialView | None = None
+        self._histograms: list[tuple[int, FeatureHistogram] | None] = [
+            None
+        ] * config.shards
+
+    # ------------------------------------------------------------------ #
+    # Shard plumbing
+    # ------------------------------------------------------------------ #
+
+    def _new_shard(self, shard_id: int) -> FixIndex:
+        import dataclasses
+
+        spill = (
+            shard_directory(self.config.spill_dir, shard_id)
+            if self.config.spill_dir is not None
+            else None
+        )
+        shard_config = dataclasses.replace(
+            self.config, shards=1, spill_dir=spill, obs=None
+        )
+        if spill is not None:
+            store_dir = os.path.join(spill, "store")
+            os.makedirs(store_dir, exist_ok=True)
+            pages = os.path.join(store_dir, "primary.pages")
+            if os.path.exists(pages):
+                os.remove(pages)
+            store = PrimaryXMLStore(
+                Pager(pages, cache_pages=self.config.page_cache_pages)
+            )
+        else:
+            store = PrimaryXMLStore()
+        # Each shard keeps a *private* Obs (its own registry): several
+        # shards sync-publishing their own totals under one name would
+        # max-merge instead of summing.  The coordinator aggregates.
+        return FixIndex(
+            store,
+            shard_config,
+            encoder=self.encoder,
+            feature_cache=self.feature_cache,
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, doc_id: int) -> int:
+        """The shard number owning a live document.
+
+        Raises:
+            RecordError: unknown or removed ``doc_id``.
+        """
+        if not 0 <= doc_id < len(self.routing) or self.routing[doc_id] is None:
+            raise RecordError(f"no document with id {doc_id}")
+        return self.routing[doc_id]
+
+    def shard_for_document(self, doc_id: int) -> FixIndex:
+        return self.shards[self.shard_of(doc_id)]
+
+    def _route_source(self, source: str) -> int:
+        """Routing decision for a raw document: stable content hash, or
+        root-label affinity."""
+        data = source.encode("utf-8")
+        if self.config.shard_affinity == "root-label":
+            match = _ROOT_TAG.match(data)
+            if match is not None:
+                label = match.group(1).decode("utf-8", "replace")
+            else:  # fall back to a full parse for exotic prologs
+                label = parse_xml(source).root.label
+            data = label.encode("utf-8")
+        digest = hashlib.blake2b(data, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % self.shard_count
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls, store: PrimaryXMLStore, config: FixIndexConfig | None = None
+    ) -> "ShardedFixIndex":
+        """Distribute ``store``'s documents into shards and build each.
+
+        Document ids are preserved from ``store``, so answers are
+        pointer-identical to ``FixIndex.build(store, ...)``.
+        """
+        sharded = cls(config)
+        for doc_id in store.doc_ids():
+            sharded._place_source(store.get_source(doc_id), doc_id)
+        sharded._build_all()
+        return sharded
+
+    @classmethod
+    def build_from_sources(
+        cls, sources, config: FixIndexConfig | None = None
+    ) -> "ShardedFixIndex":
+        """Build by streaming raw XML sources (ids assigned in iteration
+        order).  With ``config.spill_dir`` set, nothing monolithic is
+        ever held in memory: each document goes straight into its
+        shard's file-backed store."""
+        sharded = cls(config)
+        doc_id = 0
+        for source in sources:
+            sharded._place_source(source, doc_id)
+            doc_id += 1
+        sharded._build_all()
+        return sharded
+
+    def _place_source(self, source: str, doc_id: int) -> None:
+        if doc_id < len(self.routing):
+            raise StorageError(f"document id {doc_id} routed twice")
+        shard_id = self._route_source(source)
+        while len(self.routing) < doc_id:
+            self.routing.append(None)
+        self.routing.append(shard_id)
+        self.shards[shard_id].store.add_source_at(source, doc_id)
+
+    def _build_all(self) -> None:
+        with self.obs.span("build.sharded", shards=self.shard_count):
+            # Global encoder pre-pass in doc-id order — the exact
+            # invariant FixIndex._stage_entries keeps, lifted over the
+            # whole collection so shard-local passes can be skipped.
+            with self.obs.span("build.seed"):
+                for doc_id, shard_id in enumerate(self.routing):
+                    if shard_id is None:
+                        continue
+                    document = self.shards[shard_id].store.get_document(doc_id)
+                    seed_encoder(
+                        self.encoder, document, text_label=self.value_hasher
+                    )
+            for shard_id, shard in enumerate(self.shards):
+                with self.obs.span("build.shard", shard=shard_id):
+                    shard.rebuild(seed=False)
+        self._invalidate_views()
+        self._publish_metrics()
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def add_document(self, document: Document) -> int:
+        """Store and index a new document (unclustered shards only).
+
+        Routing hashes the serialized form — the same bytes
+        :meth:`build` routes on — so incremental adds land where a
+        rebuild would put them.
+        """
+        source = serialize_fragment(document.root)
+        doc_id = len(self.routing)
+        shard_id = self._route_source(source)
+        shard = self.shards[shard_id]
+        shard.store.add_document_at(document, doc_id)
+        self.routing.append(shard_id)
+        shard.index_document(doc_id, document)
+        self.generation += 1
+        self._invalidate_views(shard_id)
+        self._publish_metrics()
+        return doc_id
+
+    def remove_document(self, doc_id: int) -> int:
+        """Remove a document and its entries from its owning shard.
+        Returns the number of index entries removed."""
+        shard_id = self.shard_of(doc_id)
+        removed = self.shards[shard_id].remove_document(doc_id)
+        self.routing[doc_id] = None
+        self.generation += 1
+        self._invalidate_views(shard_id)
+        self._publish_metrics()
+        return removed
+
+    def _invalidate_views(self, shard_id: int | None = None) -> None:
+        if shard_id is None:
+            self._histograms = [None] * self.shard_count
+        else:
+            self._histograms[shard_id] = None
+
+    # ------------------------------------------------------------------ #
+    # Coverage and query features (identical across shards — one
+    # encoder, one config — so shard 0 answers for everyone)
+    # ------------------------------------------------------------------ #
+
+    def covers(self, twig: TwigQuery) -> bool:
+        return self.shards[0].covers(twig)
+
+    def ensure_covers(self, twig: TwigQuery) -> None:
+        self.shards[0].ensure_covers(twig)
+
+    def query_features(self, twig: TwigQuery) -> FeatureKey:
+        return self.shards[0].query_features(twig)
+
+    # ------------------------------------------------------------------ #
+    # Pruning scan: scatter-gather
+    # ------------------------------------------------------------------ #
+
+    def candidates(self, twig: TwigQuery) -> Iterator[IndexEntry]:
+        """All entries whose key covers the twig's feature key (same
+        contract as :meth:`FixIndex.candidates`).
+
+        Raises:
+            IndexCoverageError: when :meth:`covers` is false.
+        """
+        from repro.query.ast import Axis
+
+        self.ensure_covers(twig)
+        query_key = self.query_features(twig)
+        anchored = (
+            self.config.depth_limit > 0 or twig.leading_axis is Axis.CHILD
+        )
+        yield from self.candidates_for_key(query_key, anchored=anchored)
+
+    def candidates_for_key(
+        self, query_key: FeatureKey, anchored: bool = True
+    ) -> Iterator[IndexEntry]:
+        """Scatter the pruning scan across shards, most selective first.
+
+        Shards whose λ_max histogram proves the scan empty are skipped
+        without being touched; ``shards.visited`` / ``shards.skipped``
+        counters in the coordinator registry record the saving.
+
+        Raises:
+            ShardError: when one shard's scan fails (names the shard).
+        """
+        order = self._scan_order(query_key, anchored)
+        counters = self.obs.registry
+        counters.counter("shards.skipped").inc(self.shard_count - len(order))
+        for shard_id in order:
+            counters.counter("shards.visited").inc()
+            try:
+                yield from self.shards[shard_id].candidates_for_key(
+                    query_key, anchored=anchored
+                )
+            except (StorageError, BTreeError) as exc:
+                raise ShardError(
+                    f"shard {shard_id}: pruning scan failed: {exc}",
+                    shard=shard_id,
+                ) from exc
+
+    def _scan_order(self, query_key: FeatureKey, anchored: bool) -> list[int]:
+        """Shards worth scanning, cheapest (most selective) first."""
+        from repro.core.optimizer import shard_scan_cost
+
+        guard = self.config.guard_band
+        ranked: list[tuple[float, int]] = []
+        for shard_id in range(self.shard_count):
+            histogram = self._histogram_for(shard_id)
+            if not histogram.may_contain(
+                query_key, anchored=anchored, guard=guard
+            ):
+                continue
+            ranked.append(
+                (shard_scan_cost(histogram, query_key, anchored), shard_id)
+            )
+        ranked.sort()
+        return [shard_id for _, shard_id in ranked]
+
+    def _histogram_for(self, shard_id: int) -> FeatureHistogram:
+        shard = self.shards[shard_id]
+        cached = self._histograms[shard_id]
+        if cached is not None and cached[0] == shard.generation:
+            return cached[1]
+        try:
+            histogram = FeatureHistogram(shard)
+        except (StorageError, BTreeError) as exc:
+            raise ShardError(
+                f"shard {shard_id}: histogram scan failed: {exc}",
+                shard=shard_id,
+            ) from exc
+        self._histograms[shard_id] = (shard.generation, histogram)
+        return histogram
+
+    def spatial_view(self) -> _ShardedSpatialView:
+        """The scatter-gather R-tree facade (per-shard trees are built
+        lazily by each shard and invalidated by its own generation)."""
+        if self._spatial_view is None:
+            self._spatial_view = _ShardedSpatialView(self)
+        return self._spatial_view
+
+    # ------------------------------------------------------------------ #
+    # Measurements and metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def entry_count(self) -> int:
+        return sum(shard.entry_count for shard in self.shards)
+
+    def size_bytes(self) -> int:
+        return sum(shard.size_bytes() for shard in self.shards)
+
+    def total_size_bytes(self) -> int:
+        return sum(shard.total_size_bytes() for shard in self.shards)
+
+    def iter_entries(self) -> Iterator[IndexEntry]:
+        """Every shard's entries (shard-major; callers needing global
+        key order sort, exactly as they do for scan results)."""
+        for shard in self.shards:
+            yield from shard.iter_entries()
+
+    def pager_stats(self) -> PagerStats:
+        """Summed pager counters across every shard's pagers."""
+        return PagerStats.combine(
+            [shard.pager_stats() for shard in self.shards]
+        )
+
+    def btree_stats(self):
+        """Summed B-tree counters across shards."""
+        from repro.btree.tree import BTreeStats
+
+        return BTreeStats.combine([shard.btree.stats for shard in self.shards])
+
+    def publish_scan_stats(self, registry) -> None:
+        """Aggregate shard scan counters into ``registry`` (summing
+        across shards, then delta-syncing — each shard's own registry
+        stays private so the sums stay monotone)."""
+        self.btree_stats().publish(registry)
+        self.pager_stats().publish(registry)
+
+    def _publish_metrics(self) -> None:
+        registry = self.obs.registry
+        self.publish_scan_stats(registry)
+        registry.gauge("index.entries").set(self.entry_count)
+        registry.gauge("index.btree_bytes").set(self.size_bytes())
+        registry.gauge("index.generation").set(self.generation)
+        registry.gauge("shards.count").set(self.shard_count)
+        for shard_id, shard in enumerate(self.shards):
+            registry.gauge(f"shards.{shard_id}.entries").set(shard.entry_count)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, directory: str) -> None:
+        """Persist the coordinator manifest plus every shard (stores
+        included — unlike a single :class:`FixIndex`, a sharded index
+        owns its primary storage).
+
+        Shards that spilled into ``directory`` during an out-of-core
+        build only flush in place (``copy_to`` degenerates to a flush
+        when source and target are the same file)."""
+        os.makedirs(directory, exist_ok=True)
+        for shard_id, shard in enumerate(self.shards):
+            sdir = shard_directory(directory, shard_id)
+            shard.store.save(os.path.join(sdir, "store"))
+            save_index(shard, sdir)
+        manifest = {
+            "format_version": _FORMAT_VERSION,
+            "config": {
+                "depth_limit": self.config.depth_limit,
+                "clustered": self.config.clustered,
+                "value_buckets": self.config.value_buckets,
+                "max_pattern_vertices": self.config.max_pattern_vertices,
+                "max_unfolding_opens": self.config.max_unfolding_opens,
+                "guard_band": self.config.guard_band,
+                "workers": self.config.workers,
+                "feature_cache": self.config.feature_cache,
+                "prune_backend": self.config.prune_backend,
+                "eigen_solver": self.config.eigen_solver,
+                "shards": self.config.shards,
+                "shard_affinity": self.config.shard_affinity,
+                "page_cache_pages": self.config.page_cache_pages,
+                "spill_dir": None,
+                "btree_node_cache": self.config.btree_node_cache,
+            },
+            "routing": self.routing,
+            "encoder": self.encoder.to_dict(),
+        }
+        with open(
+            os.path.join(directory, _MANIFEST_FILE), "w", encoding="utf-8"
+        ) as handle:
+            json.dump(manifest, handle, indent=2)
+
+    @staticmethod
+    def is_sharded(directory: str) -> bool:
+        """Does ``directory`` hold a sharded index (vs a single one)?"""
+        return os.path.exists(os.path.join(directory, _MANIFEST_FILE))
+
+    @classmethod
+    def load(
+        cls,
+        directory: str,
+        *,
+        page_cache_pages: int | None = None,
+    ) -> "ShardedFixIndex":
+        """Reattach to a sharded index previously :meth:`save`\\ d.
+
+        ``page_cache_pages`` overrides the saved buffer-pool bound for
+        this session (e.g. a query box with more memory than the build
+        box).
+
+        Raises:
+            StorageError: missing/corrupt manifest or format mismatch.
+        """
+        import dataclasses
+
+        manifest_path = os.path.join(directory, _MANIFEST_FILE)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError as exc:
+            raise StorageError(f"no sharded index at {directory!r}") from exc
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"corrupt sharded manifest at {manifest_path!r}"
+            ) from exc
+        if manifest.get("format_version") != _FORMAT_VERSION:
+            raise StorageError(
+                f"sharded format version {manifest.get('format_version')} is "
+                f"not supported (expected {_FORMAT_VERSION})"
+            )
+        config = FixIndexConfig(**manifest["config"])
+        if page_cache_pages is not None:
+            config = dataclasses.replace(
+                config, page_cache_pages=page_cache_pages
+            )
+        sharded = cls.__new__(cls)
+        sharded.config = config
+        sharded.encoder = EdgeLabelEncoder.from_dict(manifest["encoder"])
+        sharded.value_hasher = (
+            ValueHasher(config.value_buckets)
+            if config.value_buckets is not None
+            else None
+        )
+        sharded.feature_cache = FeatureCache() if config.feature_cache else None
+        sharded.obs = Obs.from_config(config.obs)
+        sharded.routing = list(manifest["routing"])
+        sharded.clustered_store = None
+        sharded.generation = 0
+        sharded.shards = []
+        for shard_id in range(config.shards):
+            sdir = shard_directory(directory, shard_id)
+            try:
+                store = PrimaryXMLStore.load(
+                    os.path.join(sdir, "store"),
+                    page_cache_pages=config.page_cache_pages,
+                )
+                shard = load_index(
+                    sdir, store, page_cache_pages=page_cache_pages
+                )
+            except (StorageError, FileNotFoundError) as exc:
+                raise ShardError(
+                    f"shard {shard_id}: cannot reattach: {exc}", shard=shard_id
+                ) from exc
+            # Re-share the coordinator's encoder/cache objects so future
+            # incremental adds keep every shard's keys in agreement.
+            shard.encoder = sharded.encoder
+            shard._generator.encoder = sharded.encoder
+            if sharded.feature_cache is not None:
+                shard.feature_cache = sharded.feature_cache
+                shard._generator.cache = sharded.feature_cache
+            sharded.shards.append(shard)
+        sharded.store = _ShardRouter(sharded)
+        sharded._spatial_view = None
+        sharded._histograms = [None] * config.shards
+        sharded._publish_metrics()
+        return sharded
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedFixIndex(shards={self.shard_count}, "
+            f"affinity={self.config.shard_affinity!r}, "
+            f"entries={self.entry_count})"
+        )

@@ -103,6 +103,36 @@ class FeatureHistogram:
             return float(sum(h.unbounded for h in histograms))
         return sum(h.estimate_at_least(threshold) for h in histograms)
 
+    def may_contain(
+        self,
+        query_key: FeatureKey,
+        anchored: bool = True,
+        guard: float = 0.0,
+    ) -> bool:
+        """Can a scan for ``query_key`` possibly yield a candidate?
+
+        Unlike :meth:`estimate_candidates` (an approximation) this is a
+        *sound* emptiness test, because each label histogram records its
+        exact λ_max endpoints: when the query's guarded threshold
+        ``λ_max - guard`` lies strictly above a label's recorded ``hi``
+        and the label has no all-covering entries, no stored key can
+        satisfy the containment predicate.  Sharded coordinators use it
+        to skip shards without scanning them (DESIGN.md §11); a
+        ``False`` here never loses an answer.
+        """
+        if anchored:
+            histogram = self._histograms.get(query_key.root_label)
+            histograms = [] if histogram is None else [histogram]
+        else:
+            histograms = list(self._histograms.values())
+        threshold = query_key.range.lmax - guard
+        for histogram in histograms:
+            if histogram.unbounded:
+                return True
+            if histogram.counts and threshold <= histogram.hi:
+                return True
+        return False
+
     def labels(self) -> list[str]:
         """Labels with at least one indexed entry."""
         return sorted(self._histograms)

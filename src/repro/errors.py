@@ -64,6 +64,22 @@ class PageError(StorageError):
     """Raised for invalid page ids or corrupted page contents."""
 
 
+class ShardError(PageError):
+    """Raised when one shard of a sharded index fails during a
+    scatter-gather operation.  Subclasses :class:`PageError` because the
+    dominant cause is page-level damage inside a single shard; the
+    message always names the failing shard so operators can repair or
+    rebuild it without touching its siblings.
+
+    Attributes:
+        shard: the failing shard's number.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+
+
 class RecordError(StorageError):
     """Raised for invalid record pointers or corrupted records."""
 

@@ -1,4 +1,4 @@
-"""Fixed-size page manager with an LRU buffer pool.
+"""Fixed-size page manager with an mmap-backed bounded buffer pool.
 
 All persistent structures (record files, the B+tree) allocate and access
 pages exclusively through a :class:`Pager`.  The pager counts *logical*
@@ -8,11 +8,30 @@ index's sequential advantage — independently of wall-clock noise.
 
 A pager can be file-backed or purely in-memory (``path=None``).  The
 in-memory mode still goes through the same buffer-pool accounting, so
-benchmarks measuring page-touch counts behave identically.
+benchmarks measuring page-touch counts behave identically; it never
+evicts (there is nothing to evict *to*).
+
+File-backed pagers are the out-of-core substrate (DESIGN.md §11):
+
+* **Reads** that miss the pool are served from a shared read-only
+  ``mmap`` of the backing file — the kernel's page cache is the second
+  cache tier, and residency is bounded by the pool, not the file size.
+  Pages past the mapped region (allocated but not yet written back)
+  fall back to ``pread`` with zero-extension.
+* **The buffer pool is bounded** at ``cache_pages`` frames with LRU
+  eviction.  Evicting a dirty frame writes it back first (the map is
+  ``MAP_SHARED`` over the same file, so a later miss re-reads exactly
+  what was evicted).  Pinned frames (:meth:`pin`) are skipped by the
+  eviction scan, which lets callers mutate a page buffer in place
+  across intervening pager calls and then :meth:`mark_dirty` it.
+* **Counters** — hits, misses, evictions — publish into a ``repro.obs``
+  registry under ``pager.*`` (:meth:`PagerStats.publish`), so ``repro
+  stats`` and ``repro trace`` can show pool residency behaviour.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -22,6 +41,10 @@ from repro.errors import PageError
 #: Default page size in bytes.  4 KiB matches the paper-era commodity
 #: filesystem block size the original Berkeley DB deployment would use.
 PAGE_SIZE = 4096
+
+#: Default buffer-pool capacity in pages (1 MiB at the default page
+#: size) — the value ``FixIndexConfig.page_cache_pages`` defaults to.
+DEFAULT_CACHE_PAGES = 256
 
 
 @dataclass
@@ -34,6 +57,8 @@ class PagerStats:
         logical_writes: every ``write`` call.
         physical_writes: dirty-page evictions plus final flush writes.
         allocations: pages ever allocated.
+        evictions: frames pushed out of the bounded pool (clean or
+            dirty; dirty evictions also count a physical write).
     """
 
     logical_reads: int = 0
@@ -41,6 +66,17 @@ class PagerStats:
     logical_writes: int = 0
     physical_writes: int = 0
     allocations: int = 0
+    evictions: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        """Reads served from the pool."""
+        return self.logical_reads - self.physical_reads
+
+    @property
+    def hit_rate(self) -> float:
+        """Pool hit rate over all logical reads (0.0 when idle)."""
+        return self.cache_hits / self.logical_reads if self.logical_reads else 0.0
 
     def snapshot(self) -> "PagerStats":
         """A copy frozen at the current counts (for before/after deltas)."""
@@ -50,6 +86,7 @@ class PagerStats:
             self.logical_writes,
             self.physical_writes,
             self.allocations,
+            self.evictions,
         )
 
     def delta(self, before: "PagerStats") -> "PagerStats":
@@ -60,17 +97,53 @@ class PagerStats:
             self.logical_writes - before.logical_writes,
             self.physical_writes - before.physical_writes,
             self.allocations - before.allocations,
+            self.evictions - before.evictions,
         )
+
+    def add(self, other: "PagerStats") -> None:
+        """Fold another pager's counters into this one (aggregation
+        across the pagers of one index, or of every shard)."""
+        self.logical_reads += other.logical_reads
+        self.physical_reads += other.physical_reads
+        self.logical_writes += other.logical_writes
+        self.physical_writes += other.physical_writes
+        self.allocations += other.allocations
+        self.evictions += other.evictions
+
+    @classmethod
+    def combine(cls, stats: "list[PagerStats] | tuple[PagerStats, ...]") -> "PagerStats":
+        """Sum of several pagers' counters."""
+        total = cls()
+        for item in stats:
+            total.add(item)
+        return total
+
+    def publish(self, registry, prefix: str = "pager.") -> None:
+        """Sync these monotonic totals into a ``repro.obs`` registry
+        (idempotent delta-sync; see ``MetricsRegistry.sync_counter``).
+
+        Aggregated totals (``combine``) stay monotone as long as the
+        same pager set is summed each time, which is how the index-level
+        publishers use this."""
+        registry.sync_counter(prefix + "logical_reads", self.logical_reads)
+        registry.sync_counter(prefix + "physical_reads", self.physical_reads)
+        registry.sync_counter(prefix + "cache_hits", self.cache_hits)
+        registry.sync_counter(prefix + "logical_writes", self.logical_writes)
+        registry.sync_counter(prefix + "physical_writes", self.physical_writes)
+        registry.sync_counter(prefix + "allocations", self.allocations)
+        registry.sync_counter(prefix + "evictions", self.evictions)
+        registry.gauge(prefix + "hit_rate").set(self.hit_rate)
 
 
 @dataclass
 class _Frame:
     data: bytearray
     dirty: bool = field(default=False)
+    pins: int = field(default=0)
 
 
 class Pager:
-    """Page allocator and buffer pool.
+    """Page allocator and bounded buffer pool.
 
     Args:
         path: backing file path, or ``None`` for a purely in-memory pager.
@@ -83,10 +156,12 @@ class Pager:
         self,
         path: str | None = None,
         page_size: int = PAGE_SIZE,
-        cache_pages: int = 256,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
     ) -> None:
         if page_size < 64:
             raise PageError(f"page size {page_size} too small")
+        if cache_pages < 1:
+            raise PageError(f"need at least one cache page, got {cache_pages}")
         self.page_size = page_size
         self.stats = PagerStats()
         self._path = path
@@ -94,6 +169,9 @@ class Pager:
         self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
         self._page_count = 0
         self._closed = False
+        self._map: mmap.mmap | None = None
+        self._map_pages = 0
+        self._map_touches = 0
         if path is None:
             self._fd: int | None = None
         else:
@@ -119,6 +197,16 @@ class Pager:
         """True when there is no backing file."""
         return self._fd is None
 
+    @property
+    def cache_pages(self) -> int:
+        """Buffer-pool capacity in pages."""
+        return self._cache_pages
+
+    @property
+    def resident_pages(self) -> int:
+        """Frames currently held by the buffer pool."""
+        return len(self._frames)
+
     def allocate(self) -> int:
         """Allocate a fresh zeroed page and return its id."""
         self._check_open()
@@ -129,7 +217,9 @@ class Pager:
         return page_id
 
     def read(self, page_id: int) -> bytearray:
-        """Return the page contents (a live buffer; mutate then ``write``).
+        """Return the page contents (a live buffer; mutate then ``write``
+        or :meth:`mark_dirty` — pin the page first when other pager calls
+        can happen in between, or the frame may be evicted).
 
         Raises:
             PageError: for out-of-range ids.
@@ -172,6 +262,34 @@ class Pager:
         frame.dirty = True
         self.stats.logical_writes += 1
 
+    def pin(self, page_id: int) -> "_PinGuard":
+        """Pin a resident page so eviction skips it (context manager).
+
+        Use around read-mutate-``mark_dirty`` sequences that perform
+        other pager calls in between::
+
+            with pager.pin(page_id):
+                buffer = pager.read(page_id)
+                ...  # other reads/allocations may evict unpinned frames
+                pager.mark_dirty(page_id)
+
+        Raises:
+            PageError: when the page is not resident (read it first) or
+                out of range.
+        """
+        self._check_open()
+        self._check_range(page_id)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise PageError(f"page {page_id} not resident; read it first")
+        frame.pins += 1
+        return _PinGuard(self, page_id)
+
+    def _unpin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pins > 0:
+            frame.pins -= 1
+
     def flush(self) -> None:
         """Write every dirty page to the backing file (no-op in memory)."""
         self._check_open()
@@ -187,6 +305,9 @@ class Pager:
         if self._closed:
             return
         self.flush()
+        if self._map is not None:
+            self._map.close()
+            self._map = None
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None
@@ -200,9 +321,17 @@ class Pager:
         """Materialize every page into a file at ``path``.
 
         Used to persist in-memory pagers (flush dirty frames first when
-        copying a file-backed pager so the copy is current).
+        copying a file-backed pager so the copy is current).  Copying a
+        file-backed pager onto its own backing file degenerates to a
+        flush — the pages are already exactly where they belong.
         """
         self.flush()
+        if self._path is not None:
+            try:
+                if os.path.exists(path) and os.path.samefile(self._path, path):
+                    return
+            except OSError:
+                pass
         with open(path, "wb") as handle:
             for page_id in range(self._page_count):
                 handle.write(bytes(self.read(page_id)))
@@ -240,23 +369,97 @@ class Pager:
     def _evict_if_needed(self) -> None:
         if self._fd is None:
             return  # in-memory pager keeps everything resident
-        while len(self._frames) > self._cache_pages:
-            victim_id, victim = self._frames.popitem(last=False)
+        overflow = len(self._frames) - self._cache_pages
+        if overflow <= 0:
+            return
+        # LRU sweep from the cold end; pinned frames are skipped (they
+        # rotate to the hot end so the sweep terminates).
+        scanned = 0
+        limit = len(self._frames)
+        while overflow > 0 and scanned < limit:
+            victim_id, victim = next(iter(self._frames.items()))
+            scanned += 1
+            if victim.pins > 0:
+                self._frames.move_to_end(victim_id)
+                continue
+            del self._frames[victim_id]
             if victim.dirty:
                 self._write_backing(victim_id, victim.data)
+            self.stats.evictions += 1
+            overflow -= 1
 
     def _read_backing(self, page_id: int) -> bytearray:
         if self._fd is None:
             # In-memory pager: a miss can only mean the frame was never
             # created, which _install prevents; treat as zero page.
             return bytearray(self.page_size)
+        if page_id >= self._map_pages:
+            self._remap()
+        if page_id < self._map_pages:
+            offset = page_id * self.page_size
+            assert self._map is not None
+            data = bytearray(self._map[offset : offset + self.page_size])
+            self._map_touches += 1
+            if self._map_touches >= 4 * self._cache_pages:
+                self._advise_cold()
+            return data
+        # Past the mapped region even after remap: allocated but never
+        # written back (or truncated by a crash) — zero-extend.
         data = os.pread(self._fd, self.page_size, page_id * self.page_size)
         if len(data) < self.page_size:
-            # Allocated but never flushed past EOF: zero-extend.
             data = data.ljust(self.page_size, b"\x00")
         return bytearray(data)
+
+    def _remap(self) -> None:
+        """(Re)map the backing file read-only to its current size."""
+        assert self._fd is not None
+        size = os.fstat(self._fd).st_size
+        pages = size // self.page_size
+        if pages <= self._map_pages:
+            return
+        if self._map is not None:
+            self._map.close()
+            self._map = None
+            self._map_pages = 0
+        self._map = mmap.mmap(
+            self._fd, pages * self.page_size, access=mmap.ACCESS_READ
+        )
+        self._map_pages = pages
+
+    def _advise_cold(self) -> None:
+        """Drop the mapping's resident pages back to the OS.
+
+        The frame cache is the buffer pool; letting the read mapping
+        accumulate every touched file page would grow RSS with corpus
+        size regardless of ``cache_pages``.  MADV_DONTNEED on a
+        read-only file mapping discards nothing — dropped pages fault
+        back in from the page cache / disk on the next miss.
+        """
+        self._map_touches = 0
+        if self._map is None or not hasattr(mmap, "MADV_DONTNEED"):
+            return
+        try:
+            self._map.madvise(mmap.MADV_DONTNEED)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
 
     def _write_backing(self, page_id: int, data: bytearray) -> None:
         assert self._fd is not None
         os.pwrite(self._fd, bytes(data), page_id * self.page_size)
         self.stats.physical_writes += 1
+
+
+class _PinGuard:
+    """Context manager returned by :meth:`Pager.pin`."""
+
+    __slots__ = ("_pager", "_page_id")
+
+    def __init__(self, pager: Pager, page_id: int) -> None:
+        self._pager = pager
+        self._page_id = page_id
+
+    def __enter__(self) -> "_PinGuard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._pager._unpin(self._page_id)

@@ -92,6 +92,37 @@ class PrimaryXMLStore:
         self._directory.append(self._records.append(source.encode("utf-8")))
         return doc_id
 
+    def add_document_at(self, document: Document, doc_id: int) -> None:
+        """Store a document under a caller-chosen ``doc_id``.
+
+        Shard stores use this to keep *global* document ids: ids below
+        ``doc_id`` that this store has never seen become tombstones
+        (documents living in sibling shards), so every pointer minted
+        anywhere in a sharded index resolves without translation.
+
+        Raises:
+            RecordError: when ``doc_id`` is already occupied.
+        """
+        self._claim_slot(doc_id)
+        payload = serialize_fragment(document.root).encode("utf-8")
+        self._directory[doc_id] = self._records.append(payload)
+        document.doc_id = doc_id
+        self._cache_put(doc_id, document)
+
+    def add_source_at(self, source: str, doc_id: int) -> None:
+        """Store raw XML text under a caller-chosen ``doc_id`` (the
+        lazy-parse counterpart of :meth:`add_document_at`)."""
+        self._claim_slot(doc_id)
+        self._directory[doc_id] = self._records.append(source.encode("utf-8"))
+
+    def _claim_slot(self, doc_id: int) -> None:
+        if doc_id < 0:
+            raise RecordError(f"invalid document id {doc_id}")
+        if doc_id < len(self._directory) and self._directory[doc_id] is not None:
+            raise RecordError(f"document id {doc_id} is already occupied")
+        while len(self._directory) <= doc_id:
+            self._directory.append(None)
+
     # ------------------------------------------------------------------ #
     # Reading
     # ------------------------------------------------------------------ #
@@ -199,8 +230,16 @@ class PrimaryXMLStore:
             json.dump(manifest, handle)
 
     @classmethod
-    def load(cls, directory: str, cache_documents: int = 64) -> "PrimaryXMLStore":
+    def load(
+        cls,
+        directory: str,
+        cache_documents: int = 64,
+        page_cache_pages: int | None = None,
+    ) -> "PrimaryXMLStore":
         """Reattach to a store previously :meth:`save`\\ d.
+
+        ``page_cache_pages`` bounds the reattached pager's buffer pool
+        (default: the pager's own default capacity).
 
         Raises:
             RecordError: when the directory does not hold a saved store.
@@ -214,9 +253,13 @@ class PrimaryXMLStore:
                 manifest = json.load(handle)
         except FileNotFoundError as exc:
             raise RecordError(f"no saved store at {directory!r}") from exc
+        pager_options = (
+            {} if page_cache_pages is None else {"cache_pages": page_cache_pages}
+        )
         pager = Pager(
             os.path.join(directory, "primary.pages"),
             page_size=manifest["page_size"],
+            **pager_options,
         )
         store = cls(pager, cache_documents=cache_documents)
         store._directory = [

@@ -1,0 +1,206 @@
+"""Buffer-pool tests: the bounded page cache behind every file-backed
+pager — LRU eviction, pinning, dirty write-back, mmap-backed reopen —
+plus the bounded B+tree node table that sits on top of it."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.btree import BPlusTree
+from repro.errors import BTreeError, PageError
+from repro.obs import MetricsRegistry
+from repro.storage import PAGE_SIZE, Pager
+from repro.storage.pager import PagerStats
+
+
+def _fill(pager: Pager, pages: int) -> None:
+    for i in range(pages):
+        page_id = pager.allocate()
+        pager.write(page_id, bytes([i % 251]) * pager.page_size)
+
+
+class TestBufferPoolBound:
+    def test_resident_pages_never_exceed_cache(self, tmp_path):
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=8)
+        _fill(pager, 64)
+        assert pager.resident_pages <= 8
+        for i in range(64):
+            pager.read(i)
+            assert pager.resident_pages <= 8
+        assert pager.stats.evictions > 0
+        pager.close()
+
+    def test_in_memory_pager_never_evicts(self):
+        pager = Pager(cache_pages=2)
+        _fill(pager, 32)
+        assert pager.resident_pages == 32
+        assert pager.stats.evictions == 0
+
+    def test_lru_order(self, tmp_path):
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=2)
+        _fill(pager, 2)
+        pager.flush()
+        pager.read(0)  # page 1 is now least-recently-used
+        before = pager.stats.physical_reads
+        pager.read(2 - 2)  # page 0 still hot: no physical read
+        assert pager.stats.physical_reads == before
+        pager.allocate()  # evicts page 1
+        pager.read(1)  # ... which must come back from disk
+        assert pager.stats.physical_reads == before + 1
+        pager.close()
+
+    def test_eviction_writes_back_dirty_pages(self, tmp_path):
+        path = os.fspath(tmp_path / "p.pages")
+        pager = Pager(path, cache_pages=2)
+        first = pager.allocate()
+        pager.write(first, b"\xab" * PAGE_SIZE)
+        _fill(pager, 8)  # pushes the dirty first page out
+        assert pager.read(first) == b"\xab" * PAGE_SIZE
+        pager.close()
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        with pytest.raises(PageError):
+            Pager(cache_pages=0)
+        with pytest.raises(PageError):
+            Pager(page_size=32)
+
+
+class TestPinning:
+    def test_pinned_page_survives_pressure(self, tmp_path):
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=2)
+        target = pager.allocate()
+        pager.write(target, b"\x77" * PAGE_SIZE)
+        with pager.pin(target):
+            before = pager.stats.physical_reads
+            _fill(pager, 8)
+            # The pinned frame was never evicted, so this is a cache hit.
+            assert pager.read(target) == b"\x77" * PAGE_SIZE
+            assert pager.stats.physical_reads == before
+        pager.close()
+
+    def test_pin_requires_resident_frame(self, tmp_path):
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=2)
+        victim = pager.allocate()
+        _fill(pager, 8)  # evicts it
+        with pytest.raises(PageError):
+            pager.pin(victim)
+        with pytest.raises(PageError):
+            pager.pin(victim + 999)
+        pager.close()
+
+    def test_mark_dirty_requires_resident_frame(self, tmp_path):
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=2)
+        victim = pager.allocate()
+        _fill(pager, 8)
+        with pytest.raises(PageError):
+            pager.mark_dirty(victim)
+        pager.close()
+
+
+class TestMmapBacking:
+    def test_reopen_reads_through_mmap(self, tmp_path):
+        path = os.fspath(tmp_path / "p.pages")
+        with Pager(path, cache_pages=4) as pager:
+            _fill(pager, 16)
+        reopened = Pager(path, cache_pages=4)
+        assert reopened.page_count == 16
+        for i in range(16):
+            assert reopened.read(i)[0] == i % 251
+        assert reopened.stats.physical_reads == 16
+        reopened.close()
+
+    def test_reads_coherent_after_interleaved_writes(self, tmp_path):
+        # mmap is established early; pwrite-backed growth and eviction
+        # write-back must stay visible to later mapped reads.
+        path = os.fspath(tmp_path / "p.pages")
+        pager = Pager(path, cache_pages=2)
+        ids = [pager.allocate() for _ in range(12)]
+        for i, page_id in enumerate(ids):
+            pager.write(page_id, bytes([0xF0 ^ i]) * PAGE_SIZE)
+        for i, page_id in enumerate(ids):
+            assert pager.read(page_id)[0] == 0xF0 ^ i
+        pager.close()
+
+    def test_copy_to_same_file_is_flush(self, tmp_path):
+        path = os.fspath(tmp_path / "p.pages")
+        pager = Pager(path, cache_pages=4)
+        _fill(pager, 4)
+        pager.copy_to(path)  # must not truncate the backing file
+        assert pager.read(3)[0] == 3
+        pager.close()
+
+
+class TestStatsPublish:
+    def test_counters_reach_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        pager = Pager(os.fspath(tmp_path / "p.pages"), cache_pages=4)
+        _fill(pager, 16)
+        for i in range(16):
+            pager.read(i)
+        pager.stats.publish(registry)
+        counters = registry.snapshot()["counters"]
+        assert counters["pager.logical_reads"] == pager.stats.logical_reads
+        assert counters["pager.evictions"] == pager.stats.evictions
+        assert counters["pager.cache_hits"] == pager.stats.cache_hits
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["pager.hit_rate"] == pytest.approx(pager.stats.hit_rate)
+        # Publishing again is idempotent (delta-sync, not re-add).
+        pager.stats.publish(registry)
+        assert registry.snapshot()["counters"]["pager.logical_reads"] == (
+            pager.stats.logical_reads
+        )
+        pager.close()
+
+    def test_combine_sums(self):
+        a, b = PagerStats(), PagerStats()
+        a.logical_reads, a.physical_reads, a.evictions = 10, 4, 2
+        b.logical_reads, b.physical_reads, b.evictions = 5, 1, 1
+        total = PagerStats.combine([a, b])
+        assert total.logical_reads == 15
+        assert total.cache_hits == 10
+        assert total.evictions == 3
+
+
+class TestBoundedNodeTable:
+    def _pairs(self, count: int):
+        return [
+            (i.to_bytes(4, "big"), i.to_bytes(8, "big")) for i in range(count)
+        ]
+
+    def test_bounded_bulk_load_matches_unbounded(self, tmp_path):
+        pairs = self._pairs(2000)
+        free = BPlusTree.bulk_load(pairs)
+        bounded = BPlusTree.bulk_load(
+            pairs,
+            pager=Pager(os.fspath(tmp_path / "b.pages"), cache_pages=4),
+            node_cache=4,
+        )
+        assert bounded.stats.node_evictions > 0
+        assert list(bounded.items()) == list(free.items())
+        bounded.check_invariants()
+        bounded.flush()
+        bounded.pager.close()
+
+    def test_bounded_inserts_and_deletes(self, tmp_path):
+        free = BPlusTree()
+        bounded = BPlusTree(
+            Pager(os.fspath(tmp_path / "b.pages"), cache_pages=8),
+            node_cache=8,
+        )
+        for key, value in self._pairs(1200):
+            free.insert(key, value)
+            bounded.insert(key, value)
+        for key, value in self._pairs(600):
+            free.delete(key, value)
+            bounded.delete(key, value)
+        assert list(bounded.items()) == list(free.items())
+        bounded.check_invariants()
+        assert bounded.stats.node_evictions > 0
+        bounded.flush()
+        bounded.pager.close()
+
+    def test_node_cache_validation(self):
+        with pytest.raises(BTreeError):
+            BPlusTree(node_cache=0)

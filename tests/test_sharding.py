@@ -1,0 +1,277 @@
+"""Sharded-index tests: scatter-gather answers must be pointer-identical
+to the single-index answers for every shard count x worker count x
+affinity, incremental maintenance and persistence included; damage in
+one shard must surface as a typed :class:`ShardError` naming it."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core import (
+    FixIndex,
+    FixIndexConfig,
+    FixQueryProcessor,
+    ShardedFixIndex,
+)
+from repro.errors import PageError, ShardError, StorageError
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+_ROOTS = ["book", "article", "journal", "report"]
+
+_QUERIES = [
+    "/book/sec/p",
+    "/article//year",
+    "//sec/title",
+    "//meta",
+    "//sec[title]/p",
+    "//nosuchlabel",
+]
+
+
+def _source(kind: int, sections: int, tag: int) -> str:
+    root = _ROOTS[kind % len(_ROOTS)]
+    body = "".join(
+        f"<sec><title>t{tag}</title><p>x{i}</p></sec>"
+        for i in range(sections)
+    )
+    return f"<{root}><meta><year>19{tag % 90 + 10}</year></meta>{body}</{root}>"
+
+
+def _corpus(count: int = 36) -> list[str]:
+    return [_source(i, i % 4 + 1, i * 7) for i in range(count)]
+
+
+def _store(sources: list[str]) -> PrimaryXMLStore:
+    store = PrimaryXMLStore()
+    for source in sources:
+        store.add_source(source)
+    return store
+
+
+def _answers(index, workers: int = 1) -> dict[str, list]:
+    processor = FixQueryProcessor(index, workers=workers)
+    return {query: processor.query(query).results for query in _QUERIES}
+
+
+@pytest.fixture(scope="module")
+def single_answers():
+    index = FixIndex.build(_store(_corpus()), FixIndexConfig(depth_limit=0))
+    return _answers(index)
+
+
+class TestPointerIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_grid(self, shards, workers, single_answers):
+        config = FixIndexConfig(depth_limit=0, shards=shards)
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        assert _answers(sharded, workers=workers) == single_answers
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_root_label_affinity(self, shards, single_answers):
+        config = FixIndexConfig(
+            depth_limit=0, shards=shards, shard_affinity="root-label"
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        assert _answers(sharded) == single_answers
+
+    @pytest.mark.parametrize("backend", ["rtree"])
+    def test_rtree_backend(self, backend, single_answers):
+        sharded = ShardedFixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0, shards=3)
+        )
+        processor = FixQueryProcessor(sharded, prune_backend=backend)
+        got = {q: processor.query(q).results for q in _QUERIES}
+        assert got == single_answers
+
+    def test_depth_limited_mode(self):
+        sources = _corpus(20)
+        config = FixIndexConfig(depth_limit=3)
+        single = FixIndex.build(_store(sources), config)
+        sharded = ShardedFixIndex.build(
+            _store(sources),
+            FixIndexConfig(depth_limit=3, shards=4),
+        )
+        for query in ["/sec/title", "//sec/p", "/meta/year"]:
+            expected = FixQueryProcessor(single).query(query).results
+            got = FixQueryProcessor(sharded).query(query).results
+            assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        kinds=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=1, max_value=3),
+                st.integers(min_value=0, max_value=9),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        shards=st.integers(min_value=1, max_value=6),
+        workers=st.sampled_from([1, 3]),
+        affinity=st.sampled_from(["hash", "root-label"]),
+    )
+    def test_property(self, kinds, shards, workers, affinity):
+        sources = [_source(*kind) for kind in kinds]
+        single = FixIndex.build(
+            _store(sources), FixIndexConfig(depth_limit=0)
+        )
+        sharded = ShardedFixIndex.build(
+            _store(sources),
+            FixIndexConfig(
+                depth_limit=0, shards=shards, shard_affinity=affinity
+            ),
+        )
+        assert _answers(sharded, workers=workers) == _answers(single)
+
+
+class TestScatterOrdering:
+    def test_anchored_query_skips_unrelated_shards(self):
+        config = FixIndexConfig(
+            depth_limit=0, shards=4, shard_affinity="root-label"
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        FixQueryProcessor(sharded).query("/book/sec/p")
+        counters = sharded.obs.registry.snapshot()["counters"]
+        assert counters.get("shards.skipped", 0) > 0
+        assert counters.get("shards.visited", 0) >= 1
+
+    def test_skipping_never_loses_answers(self, single_answers):
+        config = FixIndexConfig(
+            depth_limit=0, shards=8, shard_affinity="root-label"
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        assert _answers(sharded) == single_answers
+
+
+class TestIncrementalParity:
+    def test_add_and_remove_match_single(self):
+        sources = _corpus(24)
+        extra = [_source(1, 2, 99), _source(3, 1, 77)]
+        single = FixIndex.build(
+            _store(sources), FixIndexConfig(depth_limit=0)
+        )
+        sharded = ShardedFixIndex.build(
+            _store(sources), FixIndexConfig(depth_limit=0, shards=3)
+        )
+        for source in extra:
+            assert sharded.add_document(parse_xml(source)) == (
+                single.add_document(parse_xml(source))
+            )
+        assert single.remove_document(5) == sharded.remove_document(5)
+        assert _answers(sharded, workers=2) == _answers(single)
+        with pytest.raises(Exception):
+            sharded.shard_of(5)  # removed -> unroutable
+
+    def test_rebuild_equals_incremental(self):
+        sources = _corpus(18)
+        incremental = ShardedFixIndex.build_from_sources(
+            sources[:12], FixIndexConfig(depth_limit=0, shards=4)
+        )
+        for source in sources[12:]:
+            incremental.add_document(parse_xml(source))
+        rebuilt = ShardedFixIndex.build_from_sources(
+            sources, FixIndexConfig(depth_limit=0, shards=4)
+        )
+        assert _answers(incremental) == _answers(rebuilt)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, single_answers):
+        sharded = ShardedFixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0, shards=4)
+        )
+        directory = os.fspath(tmp_path / "idx")
+        sharded.save(directory)
+        loaded = ShardedFixIndex.load(directory)
+        assert loaded.shard_count == 4
+        assert _answers(loaded, workers=4) == single_answers
+        loaded.add_document(parse_xml(_source(0, 2, 5)))
+
+    def test_spill_build_under_tight_pool(self, tmp_path):
+        # Documents large enough that each shard's store outgrows the
+        # 4-page buffer pool, forcing real evictions during the build.
+        sources = [_source(i, 120, i) for i in range(24)]
+        single = FixIndex.build(
+            _store(sources), FixIndexConfig(depth_limit=0)
+        )
+        config = FixIndexConfig(
+            depth_limit=0,
+            shards=4,
+            spill_dir=os.fspath(tmp_path / "spill"),
+            page_cache_pages=4,
+            btree_node_cache=4,
+        )
+        sharded = ShardedFixIndex.build(_store(sources), config)
+        assert _answers(sharded) == _answers(single)
+        assert sharded.pager_stats().evictions > 0
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            ShardedFixIndex.load(os.fspath(tmp_path / "nothing"))
+
+    def test_clustered_is_rejected(self):
+        with pytest.raises(ValueError):
+            FixIndexConfig(depth_limit=0, shards=2, clustered=True)
+
+
+class TestShardDamage:
+    def test_corrupted_shard_page_names_the_shard(self, tmp_path):
+        sharded = ShardedFixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0, shards=4)
+        )
+        directory = os.fspath(tmp_path / "idx")
+        sharded.save(directory)
+        victim = sharded.shard_of(0)
+        pages = os.path.join(directory, f"shard-{victim}", "btree.pages")
+        size = os.path.getsize(pages)
+        with open(pages, "wb") as handle:  # every page becomes garbage
+            handle.write(b"\xff" * size)
+        loaded = ShardedFixIndex.load(directory)
+        with pytest.raises(ShardError) as excinfo:
+            FixQueryProcessor(loaded).query("//meta")
+        assert excinfo.value.shard == victim
+        assert f"shard {victim}" in str(excinfo.value)
+        assert isinstance(excinfo.value, PageError)  # typed page damage
+
+    def test_missing_shard_directory_fails_load(self, tmp_path):
+        sharded = ShardedFixIndex.build(
+            _store(_corpus(8)), FixIndexConfig(depth_limit=0, shards=2)
+        )
+        directory = os.fspath(tmp_path / "idx")
+        sharded.save(directory)
+        import shutil
+
+        shutil.rmtree(os.path.join(directory, "shard-1"))
+        with pytest.raises(ShardError) as excinfo:
+            ShardedFixIndex.load(directory)
+        assert excinfo.value.shard == 1
+
+
+class TestShardedCLI:
+    def test_build_query_stats(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "idx")
+        xml = os.fspath(tmp_path / "doc%d.xml")
+        files = []
+        for i, source in enumerate(_corpus(10)):
+            path = xml % i
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(source)
+            files.append(path)
+        assert main(
+            ["build", "--xml", *files, "--out", directory,
+             "--shards", "3", "--page-cache-pages", "64"]
+        ) == 0
+        assert main(["query", directory, "//sec/title", "--workers", "2"]) == 0
+        assert main(["stats", directory]) == 0
+        output = capsys.readouterr().out
+        assert "shards:         3" in output
+        assert "buffer pool" in output
+        assert main(["verify", directory, "--fast"]) == 0
