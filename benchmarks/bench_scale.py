@@ -16,11 +16,19 @@ Each case runs in its own subprocess so ``resource.getrusage``'s
 * **sharded** — stream the same corpus straight into 8 file-backed
   shard stores (``spill_dir``), build each shard under a tight buffer
   pool and node table, then run the same workload.
+* **sweep** — the sharded configuration at ``shard_workers`` 1/2/4/8
+  (always on the quick corpus): per worker count it records the build
+  time, saves the index and digests every ``.pages`` file, and runs the
+  workload both scatter-gather and with refinement push-down.
 
 The parent process compares per-query answer checksums (they must be
 identical), records shard visit/skip counters, and asserts the memory
 story: the sharded case must stay under the budget; the full-size
-single case must exceed it.
+single case must exceed it.  For the sweep it asserts that answer
+checksums (both query paths) match the single-index baseline and that
+the saved bytes are identical for every worker count; the >= 2x build
+speedup at 4 workers is asserted only when the host actually has >= 4
+CPUs (the recorded ``cpus`` field says whether it was enforced).
 
 Standalone runner (not a pytest-benchmark module)::
 
@@ -55,6 +63,8 @@ MIN_SECTIONS, MAX_SECTIONS = 28, 36
 SHARDS = 8
 PAGE_CACHE_PAGES = 64
 BTREE_NODE_CACHE = 64
+SWEEP_WORKERS = (1, 2, 4, 8)
+SPEEDUP_FLOOR = 2.0  # build(w=1)/build(w=4), enforced on >= 4-CPU hosts
 
 FULL_DOCS = 18_500  # >= 3M elements (see elements_for)
 QUICK_DOCS = 1_250  # ~200k elements, the CI smoke configuration
@@ -105,12 +115,29 @@ def _checksum(pointers) -> str:
     return digest.hexdigest()
 
 
+def _pages_digest(root: str) -> str:
+    """One digest over every saved ``.pages`` file (path + bytes): equal
+    digests mean bit-identical on-disk shard trees and stores."""
+    digest = hashlib.blake2b(digest_size=16)
+    for dirpath, _, names in sorted(os.walk(root)):
+        for name in sorted(names):
+            if not name.endswith(".pages"):
+                continue
+            path = os.path.join(dirpath, name)
+            digest.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
 # --------------------------------------------------------------------- #
 # Child cases (each runs in a fresh subprocess)
 # --------------------------------------------------------------------- #
 
 
-def run_case(case: str, doc_count: int, workdir: str) -> dict:
+def run_case(
+    case: str, doc_count: int, workdir: str, shard_workers: int = 1
+) -> dict:
     from repro.core import (
         FixIndex,
         FixIndexConfig,
@@ -132,6 +159,17 @@ def run_case(case: str, doc_count: int, workdir: str) -> dict:
             shards=SHARDS,
             shard_affinity="root-label",
             spill_dir=os.path.join(workdir, "spill"),
+            page_cache_pages=PAGE_CACHE_PAGES,
+            btree_node_cache=BTREE_NODE_CACHE,
+        )
+        index = ShardedFixIndex.build_from_sources(corpus(doc_count), config)
+    elif case == "sweep":
+        config = FixIndexConfig(
+            depth_limit=0,
+            shards=SHARDS,
+            shard_affinity="root-label",
+            shard_workers=shard_workers,
+            spill_dir=os.path.join(workdir, f"spill-w{shard_workers}"),
             page_cache_pages=PAGE_CACHE_PAGES,
             btree_node_cache=BTREE_NODE_CACHE,
         )
@@ -161,7 +199,7 @@ def run_case(case: str, doc_count: int, workdir: str) -> dict:
         "peak_rss_mb": round(rss_mb(), 1),
         "answers": answers,
     }
-    if case == "sharded":
+    if case in ("sharded", "sweep"):
         counters = index.obs.registry.snapshot()["counters"]
         pager = index.pager_stats()
         report["shards"] = SHARDS
@@ -173,16 +211,37 @@ def run_case(case: str, doc_count: int, workdir: str) -> dict:
             "hit_rate": round(pager.hit_rate, 4),
             "evictions": pager.evictions,
         }
+    if case == "sweep":
+        report["shard_workers"] = shard_workers
+        saved = os.path.join(workdir, f"saved-w{shard_workers}")
+        index.save(saved)
+        report["pages_digest"] = _pages_digest(saved)
+        pushdown = FixQueryProcessor(index, pushdown=True)
+        push_answers = {}
+        push_started = time.perf_counter()
+        for query in QUERIES:
+            result = pushdown.query(query)
+            push_answers[query] = {
+                "results": result.result_count,
+                "checksum": _checksum(result.results),
+            }
+        report["pushdown_query_seconds"] = round(
+            time.perf_counter() - push_started, 3
+        )
+        report["pushdown_answers"] = push_answers
     return report
 
 
-def _spawn(case: str, doc_count: int, workdir: str) -> dict:
+def _spawn(
+    case: str, doc_count: int, workdir: str, shard_workers: int = 1
+) -> dict:
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(ROOT, "src")
     completed = subprocess.run(
         [
             sys.executable, os.path.abspath(__file__),
             "--case", case, "--docs", str(doc_count), "--workdir", workdir,
+            "--shard-workers", str(shard_workers),
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -200,15 +259,19 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="CI configuration (~200k elements)")
-    parser.add_argument("--case", choices=["single", "sharded"],
+    parser.add_argument("--case", choices=["single", "sharded", "sweep"],
                         help="internal: run one case and print JSON")
     parser.add_argument("--docs", type=int, default=None)
     parser.add_argument("--workdir", default=None)
+    parser.add_argument("--shard-workers", type=int, default=1)
     parser.add_argument("--out", default=OUT_PATH)
     args = parser.parse_args(argv)
 
     if args.case:  # child invocation
-        json.dump(run_case(args.case, args.docs, args.workdir), sys.stdout)
+        json.dump(
+            run_case(args.case, args.docs, args.workdir, args.shard_workers),
+            sys.stdout,
+        )
         return 0
 
     doc_count = QUICK_DOCS if args.quick else FULL_DOCS
@@ -232,6 +295,53 @@ def main(argv=None) -> int:
               f"peak {sharded['peak_rss_mb']} MB "
               f"(visited {sharded['shards_visited']:.0f}, "
               f"skipped {sharded['shards_skipped']:.0f} shard scans)")
+
+        # Shard-worker sweep: always on the quick corpus so the four
+        # extra builds stay bounded.  In quick mode the single case just
+        # measured is the baseline; in full mode spawn a quick one.
+        sweep_docs = QUICK_DOCS
+        if args.quick:
+            sweep_baseline = single
+        else:
+            sweep_baseline = _spawn("single", sweep_docs, workdir)
+        sweep = []
+        for workers in SWEEP_WORKERS:
+            run = _spawn("sweep", sweep_docs, workdir, shard_workers=workers)
+            print(f"  sweep w={workers}: build {run['build_seconds']}s "
+                  f"query {run['query_seconds']}s "
+                  f"pushdown {run['pushdown_query_seconds']}s")
+            sweep.append(run)
+
+    cpus = os.cpu_count() or 1
+    by_workers = {run["shard_workers"]: run for run in sweep}
+    speedup = round(
+        by_workers[1]["build_seconds"] / by_workers[4]["build_seconds"], 2
+    )
+    speedup_asserted = cpus >= 4
+    print(f"  sweep: {speedup}x build speedup at 4 workers on {cpus} CPU(s)"
+          f"{'' if speedup_asserted else ' (floor not enforced)'}")
+    for run in sweep:
+        workers = run["shard_workers"]
+        if run["answers"] != sweep_baseline["answers"]:
+            failures.append(
+                f"sweep w={workers}: scatter-gather answers differ from "
+                "the single-index baseline"
+            )
+        if run["pushdown_answers"] != sweep_baseline["answers"]:
+            failures.append(
+                f"sweep w={workers}: push-down answers differ from the "
+                "single-index baseline"
+            )
+        if run["pages_digest"] != sweep[0]["pages_digest"]:
+            failures.append(
+                f"sweep w={workers}: saved bytes differ from the serial "
+                "build"
+            )
+    if speedup_asserted and speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"build speedup {speedup}x at 4 shard workers is below the "
+            f"{SPEEDUP_FLOOR}x floor on a {cpus}-CPU host"
+        )
 
     if sharded["answers"] != single["answers"]:
         failures.append("sharded answers differ from single-index answers")
@@ -259,6 +369,17 @@ def main(argv=None) -> int:
         "budget_mb": budget_mb,
         "single": single,
         "sharded": sharded,
+        "sweep": {
+            "documents": sweep_docs,
+            "cpus": cpus,
+            "build_speedup_w4": speedup,
+            "speedup_asserted": speedup_asserted,
+            "identical_bytes": all(
+                run["pages_digest"] == sweep[0]["pages_digest"]
+                for run in sweep
+            ),
+            "runs": sweep,
+        },
         "identical_answers": sharded["answers"] == single["answers"],
         "failures": failures,
     }

@@ -109,6 +109,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "on anchored queries)",
     )
     build.add_argument(
+        "--shard-workers", type=int, default=1, metavar="N",
+        help="shard build worker processes: each shard's staging runs in "
+        "the pool, N shards at a time (on-disk bytes identical to the "
+        "serial build); also the saved scan-concurrency bound",
+    )
+    build.add_argument(
         "--page-cache-pages", type=int, default=None, metavar="P",
         help="buffer-pool bound, in pages, for every file-backed pager "
         "(default 256; only file-backed pagers evict)",
@@ -155,6 +161,17 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--page-cache-pages", type=int, default=None, metavar="P",
         help="override the saved buffer-pool bound for this session",
+    )
+    query.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="override the saved shard scan-concurrency bound for this "
+        "session (sharded indexes only)",
+    )
+    query.add_argument(
+        "--pushdown", action="store_true",
+        help="sharded indexes: run prune+refine inside each shard that "
+        "can hold a candidate and merge only verified matches (answers "
+        "identical to the scatter-gather path)",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved index")
@@ -230,6 +247,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         eigen_solver=args.eigen_solver,
         shards=args.shards,
         shard_affinity=args.shard_affinity,
+        shard_workers=args.shard_workers,
         spill_dir=args.spill_dir,
         obs=ObsConfig(trace=bool(args.trace), trace_path=args.trace),
         **overrides,
@@ -288,12 +306,18 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open(index_dir: str, page_cache_pages: int | None = None):
+def _open(
+    index_dir: str,
+    page_cache_pages: int | None = None,
+    shard_workers: int | None = None,
+):
     """Reattach to a saved index — sharded (``sharded.json`` manifest)
     or single — returning ``(store, index)``."""
     if ShardedFixIndex.is_sharded(index_dir):
         index = ShardedFixIndex.load(
-            index_dir, page_cache_pages=page_cache_pages
+            index_dir,
+            page_cache_pages=page_cache_pages,
+            shard_workers=shard_workers,
         )
         return index.store, index
     store = PrimaryXMLStore.load(os.path.join(index_dir, "store"))
@@ -306,7 +330,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.core import QueryMetricsLog
     from repro.obs import Obs
 
-    store, index = _open(args.index_dir, args.page_cache_pages)
+    store, index = _open(
+        args.index_dir, args.page_cache_pages, args.shard_workers
+    )
     obs = Obs(trace=bool(args.trace))
     log = QueryMetricsLog(registry=obs.registry)
     processor = FixQueryProcessor(
@@ -314,6 +340,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         workers=args.workers,
         plan_cache=not args.no_plan_cache,
         prune_backend=args.prune_backend,
+        pushdown=args.pushdown,
         metrics_log=log,
         obs=obs,
     )
@@ -327,7 +354,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         f"prune={result.prune_seconds * 1000:.2f}ms "
         f"refine={result.refine_seconds * 1000:.2f}ms "
         f"[backend={result.backend} workers={result.workers} "
-        f"docs_fetched={result.documents_fetched}]"
+        f"docs_fetched={result.documents_fetched}"
+        f"{' pushdown' if result.pushdown else ''}]"
     )
     if args.repeat > 1:
         summary = log.summary()
@@ -366,12 +394,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             str(shard.btree.height()) for shard in index.shards
         )
         print(f"  shards:         {index.shard_count} "
-              f"(affinity {config.shard_affinity})")
+              f"(affinity {config.shard_affinity}, "
+              f"{config.shard_workers} worker(s))")
         print(f"  B-trees:        {index.size_bytes() / 1e6:.2f} MB, "
               f"heights {heights}")
         for shard_id, shard in enumerate(index.shards):
             print(f"    shard {shard_id}: {shard.entry_count} entries, "
                   f"{shard.store.document_count} documents")
+        balance = index.balance()
+        skew = balance["skew"]
+        skew_text = "inf" if skew == float("inf") else f"{skew:.2f}"
+        print(f"  balance:        skew {skew_text} "
+              f"(max/min shard entries)")
+        if balance["empty_shards"] and any(balance["entries"]):
+            empty = ", ".join(str(s) for s in balance["empty_shards"])
+            if config.shard_affinity == "root-label":
+                why = ("root-label affinity cannot fill more shards than "
+                       "the corpus has distinct root labels; consider "
+                       "fewer shards or 'hash' affinity")
+            else:
+                why = "consider fewer shards"
+            print(f"  warning: shard(s) {empty} hold no entries — {why}")
     else:
         print(f"  B-tree:         {index.size_bytes() / 1e6:.2f} MB, "
               f"height {index.btree.height()}")

@@ -61,7 +61,7 @@ from repro.spectral import (
     resolve_solver,
     solve_batch,
 )
-from repro.xmltree import Document, tree_events
+from repro.xmltree import Document, parse_xml_events, tree_events
 from repro.xmltree.events import CloseEvent, OpenEvent, TextEvent
 
 
@@ -260,6 +260,30 @@ def seed_encoder(
         elif isinstance(event, TextEvent):
             if text_label is not None and stack:
                 encoder.encode(stack[-1], text_label(event.value))
+        elif isinstance(event, CloseEvent):
+            stack.pop()
+
+
+def seed_encoder_from_source(encoder: EdgeLabelEncoder, source: str) -> None:
+    """Structural-only :func:`seed_encoder` over raw XML text, without
+    building a tree.
+
+    A sharded coordinator seeds the shared encoder while *routing* each
+    document (one token scan per document instead of a second
+    store-fetch-and-parse pre-pass).  Element open order is identical
+    in :func:`~repro.xmltree.parse_xml_events` and a tree walk, so the
+    first-seen order of (parent, child) label pairs — hence every code —
+    matches :func:`seed_encoder` exactly.  Only for structural indexes:
+    with the value extension active the two traversals order text
+    differently (``tree_events`` front-loads a node's text after its
+    open), so value-extended coordinators parse and seed from the tree.
+    """
+    stack: list[str] = []
+    for event in parse_xml_events(source):
+        if isinstance(event, OpenEvent):
+            if stack:
+                encoder.encode(stack[-1], event.label)
+            stack.append(event.label)
         elif isinstance(event, CloseEvent):
             stack.pop()
 

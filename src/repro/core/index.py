@@ -113,6 +113,13 @@ class FixIndexConfig:
             ``"root-label"`` (documents sharing a root label land in
             the same shard, which makes anchored queries skip whole
             shards).
+        shard_workers: processes for the sharded coordinator's
+            per-shard build fan-out, and the thread bound for the
+            concurrent scatter-gather scan (DESIGN.md §11).  ``1``
+            builds/scans shards one at a time; ``k > 1`` stages up to
+            ``k`` shards concurrently.  On-disk shard bytes, traces,
+            and query answers are identical for any value.  A plain
+            :class:`FixIndex` ignores this field.
         page_cache_pages: buffer-pool capacity, in pages, for every
             file-backed pager this index (or its shards) opens.
         spill_dir: directory for out-of-core build state.  ``None``
@@ -137,6 +144,7 @@ class FixIndexConfig:
     obs: ObsConfig | None = None
     shards: int = 1
     shard_affinity: str = "hash"
+    shard_workers: int = 1
     page_cache_pages: int = 256
     spill_dir: str | None = None
     btree_node_cache: int | None = None
@@ -155,6 +163,10 @@ class FixIndexConfig:
             raise ValueError(
                 f"unknown shard affinity {self.shard_affinity!r} "
                 "(expected 'hash' or 'root-label')"
+            )
+        if self.shard_workers < 1:
+            raise ValueError(
+                f"need at least one shard worker, got {self.shard_workers}"
             )
         if self.clustered and self.shards > 1:
             raise ValueError(
@@ -361,6 +373,34 @@ class FixIndex:
         self.report.btree_bytes = self.btree.size_bytes()
         if self.clustered_store is not None:
             self.report.clustered_bytes = self.clustered_store.size_bytes()
+        self._publish_build_metrics()
+
+    def rebuild_from_staged(self, staged) -> None:
+        """Load the B-tree from an externally staged entry list (a
+        :class:`~repro.core.parallel.StagedBuild` produced by a sharded
+        coordinator's per-shard build worker).
+
+        The insert path is exactly :meth:`rebuild`'s, so the on-disk
+        tree is byte-identical to a serial ``rebuild(seed=False)`` over
+        the same documents; the worker's stats and phase timings are
+        folded into this index's report (aggregate CPU-seconds per
+        phase, the parallel-build convention).  ``report.seconds``
+        covers only the coordinator-side merge + insert — staging ran
+        in the worker, overlapped with other shards.
+        """
+        if self.config.clustered:
+            from repro.errors import StorageError
+
+            raise StorageError("clustered indexes cannot load staged entries")
+        started = time.perf_counter()
+        self._generator.stats.merge(staged.stats)
+        self._generator.timings.merge(staged.timings)
+        insert_started = time.perf_counter()
+        with self.obs.span("build.insert", entries=len(staged.entries)):
+            self._load_unclustered(staged.entries)
+        self.report.timings.insert += time.perf_counter() - insert_started
+        self.report.seconds = time.perf_counter() - started
+        self.report.btree_bytes = self.btree.size_bytes()
         self._publish_build_metrics()
 
     def _fresh_btree_pager(self):

@@ -47,6 +47,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.btree import encode_feature_key
@@ -101,13 +102,20 @@ class _WorkerTask:
     documents: tuple[tuple[int, str], ...]
 
 
-def _stage_worker(task: _WorkerTask) -> StagedBuild:
-    """Stage one chunk of documents (runs in a worker process)."""
+def _stage_documents(task, documents, proc: str) -> StagedBuild:
+    """Stage an iterable of ``(doc_id, source)`` pairs under ``task``'s
+    generator settings.
+
+    The one staging loop shared by the chunked document fan-out
+    (:func:`parallel_stage`) and the per-shard build workers
+    (:func:`parallel_shard_stage`) — ``task`` only needs the common
+    generator-config fields, ``proc`` tags the worker's spans.
+    """
     encoder = EdgeLabelEncoder.from_dict(task.encoder)
     hasher = (
         ValueHasher(task.value_buckets) if task.value_buckets is not None else None
     )
-    obs = Obs(trace=task.trace, proc=f"worker-{task.worker_id}")
+    obs = Obs(trace=task.trace, proc=proc)
     generator = EntryGenerator(
         encoder,
         task.depth_limit,
@@ -120,7 +128,7 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
     )
     entries: list[StagedEntry] = []
     generate_seconds = 0.0
-    for doc_id, source in task.documents:
+    for doc_id, source in documents:
         started = time.perf_counter()
         document = parse_xml(source, doc_id=doc_id)
         generator.timings.parse += time.perf_counter() - started
@@ -157,6 +165,11 @@ def _stage_worker(task: _WorkerTask) -> StagedBuild:
         generator.encoder.to_dict(),
         trace_events=obs.tracer.events,
     )
+
+
+def _stage_worker(task: _WorkerTask) -> StagedBuild:
+    """Stage one chunk of documents (runs in a worker process)."""
+    return _stage_documents(task, task.documents, proc=f"worker-{task.worker_id}")
 
 
 def parallel_stage(
@@ -226,6 +239,165 @@ def parallel_stage(
         if result.encoder_state is not None:
             encoder.merge(EdgeLabelEncoder.from_dict(result.encoder_state))
     return merged
+
+
+# --------------------------------------------------------------------- #
+# Per-shard build fan-out (DESIGN.md §11)
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStoreRef:
+    """How a build worker reattaches to a spilled shard store: the
+    flushed pages file plus the live record directory.  Shipping this
+    instead of the sources keeps the task pickle O(documents), not
+    O(corpus bytes) — the out-of-core property survives the fan-out."""
+
+    pages_path: str
+    page_size: int
+    page_cache_pages: int
+    #: (doc_id, page_id, slot) in doc_id order
+    #: (:meth:`~repro.storage.PrimaryXMLStore.record_locations`).
+    records: tuple[tuple[int, int, int], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardBuildTask:
+    """Pickled per-shard build payload.  Exactly one of ``documents``
+    (in-memory shard: inline sources) and ``store_ref`` (spilled shard:
+    reattach and read) is set."""
+
+    shard_id: int
+    encoder: dict[str, int]
+    depth_limit: int
+    value_buckets: int | None
+    max_pattern_vertices: int
+    max_unfolding_opens: int
+    feature_cache: bool
+    eigen_solver: str
+    trace: bool
+    documents: tuple[tuple[int, str], ...] | None = None
+    store_ref: ShardStoreRef | None = None
+
+
+def _shard_build_worker(
+    task: ShardBuildTask,
+) -> tuple[int, StagedBuild | None, str | None]:
+    """Stage one whole shard (runs in a worker process, or in-process
+    for ``shard_workers=1``).
+
+    Never raises: a failure comes back as a ``(shard_id, None,
+    "ExcType: message")`` marker so the coordinator can raise a typed
+    :class:`~repro.errors.ShardError` naming the shard instead of a raw
+    pool traceback crossing the process boundary.
+    """
+    try:
+        if task.store_ref is not None:
+            from repro.storage import PrimaryXMLStore
+
+            ref = task.store_ref
+            store = PrimaryXMLStore.attach(
+                ref.pages_path,
+                ref.page_size,
+                ref.records,
+                page_cache_pages=ref.page_cache_pages,
+            )
+            try:
+                staged = _stage_documents(
+                    task,
+                    (
+                        (doc_id, store.get_source(doc_id))
+                        for doc_id, _, _ in ref.records
+                    ),
+                    proc=f"shard-{task.shard_id}",
+                )
+            finally:
+                store.pager.close()
+        else:
+            staged = _stage_documents(
+                task, task.documents, proc=f"shard-{task.shard_id}"
+            )
+        return task.shard_id, staged, None
+    except Exception as exc:  # noqa: BLE001 - marshalled to a ShardError
+        return task.shard_id, None, f"{type(exc).__name__}: {exc}"
+
+
+# Shard-build pools persist across rebuilds for the same reason the
+# refinement pools do (one spawn cost per process lifetime, not per
+# build); tasks are self-contained — encoder snapshot, store reference,
+# solver — so reuse cannot leak state between coordinators.
+_SHARD_POOLS: dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _shard_pool(processes: int) -> "multiprocessing.pool.Pool":
+    pool = _SHARD_POOLS.get(processes)
+    if pool is None:
+        pool = multiprocessing.get_context().Pool(processes=processes)
+        _SHARD_POOLS[processes] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_shard_pools() -> None:
+    while _SHARD_POOLS:
+        _, pool = _SHARD_POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+def parallel_shard_stage(tasks: "list[ShardBuildTask]", workers: int):
+    """Stage every shard of ``tasks`` across ``workers`` processes,
+    yielding ``(shard_id, StagedBuild)`` strictly in task order.
+
+    Ordered streaming (``imap``): the coordinator bulk-loads shard *k*'s
+    B-tree while later shards are still staging, and absorbs stats and
+    span events in shard order — so traces and reports are identical
+    for any worker count.  ``shard_workers=1`` routes through the same
+    worker function in-process, keeping every code path (and therefore
+    every stat) identical to the pooled one.
+
+    Raises:
+        ShardError: a worker failed; names the shard.
+    """
+    from repro.errors import ShardError
+
+    workers = max(1, min(workers, len(tasks)))
+    if workers == 1:
+        results = map(_shard_build_worker, tasks)
+    else:
+        results = _shard_pool(workers).imap(_shard_build_worker, tasks)
+    for shard_id, staged, error in results:
+        if error is not None:
+            raise ShardError(
+                f"shard {shard_id}: build failed: {error}", shard=shard_id
+            )
+        yield shard_id, staged
+
+
+# Concurrent scatter-gather runs per-shard scans on threads, not
+# processes: a scan is pager I/O plus key decoding over the shard's own
+# B-tree/pager/store objects (disjoint per shard, so no locking), and
+# the results must come back as live IndexEntry objects.  Executors are
+# keyed by worker count and reused across queries.
+_SCAN_EXECUTORS: dict[int, "ThreadPoolExecutor"] = {}
+
+
+def scan_executor(workers: int) -> "ThreadPoolExecutor":
+    """The shared scatter-gather thread pool for ``workers`` threads."""
+    executor = _SCAN_EXECUTORS.get(workers)
+    if executor is None:
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-scan"
+        )
+        _SCAN_EXECUTORS[workers] = executor
+    return executor
+
+
+@atexit.register
+def _shutdown_scan_executors() -> None:
+    while _SCAN_EXECUTORS:
+        _, executor = _SCAN_EXECUTORS.popitem()
+        executor.shutdown(wait=False, cancel_futures=True)
 
 
 # --------------------------------------------------------------------- #

@@ -58,6 +58,7 @@ def save_index(index: FixIndex, directory: str) -> None:
             "eigen_solver": index.config.eigen_solver,
             "shards": index.config.shards,
             "shard_affinity": index.config.shard_affinity,
+            "shard_workers": index.config.shard_workers,
             "page_cache_pages": index.config.page_cache_pages,
             # spill_dir is a build-time location, not an index property:
             # a reattached index reads its pages from the save directory.

@@ -27,6 +27,12 @@ candidate only answers for its own root — Algorithm 2, lines 7-8).
 Clustered candidates refine against their copy when the query fits
 inside the copy's depth horizon, falling back to primary storage for
 decomposed queries whose fragments may match deeper.
+
+With ``pushdown=True`` over a sharded index, phases 1 and 2 both run
+*inside* each shard that survives the histogram emptiness test (applied
+per fragment), concurrently up to the scan bound; only verified matches
+cross back to the coordinator, where the pointer-order merge makes the
+answer identical to the scatter-gather flow (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.core.index import FixIndex, IndexEntry
 from repro.core.plan import PlanCache, QueryPlan, build_plan
 from repro.engine.navigational import NavigationalEngine
 from repro.engine.structural_join import StructuralJoinEngine
+from repro.errors import BTreeError, ShardError, StorageError
 from repro.obs import Obs
 from repro.query.ast import Axis
 from repro.query.twig import TwigQuery
@@ -69,6 +76,11 @@ class FixQueryResult:
     backend: str = "btree"
     #: refinement worker processes used.
     workers: int = 1
+    #: True when shard-local push-down answered the query (prune and
+    #: refine both ran inside each participating shard; the per-phase
+    #: seconds are then summed across shards — aggregate work, not
+    #: wall-clock).
+    pushdown: bool = False
 
     @property
     def result_count(self) -> int:
@@ -112,6 +124,14 @@ class FixQueryProcessor:
             between processors.
         prune_backend: ``"btree"`` or ``"rtree"``; defaults to the
             index config's choice.
+        pushdown: push the whole prune+refine pipeline down into each
+            shard of a sharded index.  Shards that cannot contain a
+            candidate for *every* fragment are skipped outright; the
+            rest prune and refine locally (one engine per shard over
+            the shard's own store) and only verified matches flow back,
+            merged in pointer order — answers identical to the scatter-
+            gather path.  Ignored (normal two-phase flow) for plain
+            indexes and for custom refinement engines.
         metrics_log: optional sink with a ``record(source, result)``
             method (see :class:`~repro.core.metrics.QueryMetricsLog`);
             every :meth:`query` call is reported to it.
@@ -133,6 +153,7 @@ class FixQueryProcessor:
         grouped: bool = True,
         plan_cache: bool | PlanCache = True,
         prune_backend: str | None = None,
+        pushdown: bool = False,
         metrics_log=None,
         obs: Obs | None = None,
     ) -> None:
@@ -140,6 +161,7 @@ class FixQueryProcessor:
         self.refiner = refiner or NavigationalEngine(index.store)
         self.workers = max(1, workers)
         self.grouped = grouped
+        self.pushdown = pushdown
         backend = prune_backend or index.config.prune_backend
         if backend not in ("btree", "rtree"):
             raise ValueError(
@@ -254,6 +276,183 @@ class FixQueryProcessor:
         return self._histogram.estimate_candidates(key, anchored=anchored)
 
     # ------------------------------------------------------------------ #
+    # Shard-local push-down
+    # ------------------------------------------------------------------ #
+
+    def _pushdown_order(self, plan: QueryPlan) -> list[int] | None:
+        """Participating shard ids (most selective first), or ``None``
+        when this query runs through the normal two-phase flow: push-down
+        disabled, the index isn't sharded, or the refiner is a custom
+        engine the per-shard workers can't reconstruct."""
+        if not self.pushdown:
+            return None
+        index = self.index
+        if not hasattr(index, "pushdown_shards") or not hasattr(index, "shards"):
+            return None
+        if self._parallel_refiner_kind() is None:
+            return None
+        return index.pushdown_shards(plan.feature_keys, plan.anchored)
+
+    def _query_pushdown(
+        self, plan: QueryPlan, order: list[int], result: FixQueryResult
+    ) -> None:
+        """Run prune+refine inside each participating shard and merge.
+
+        The fragment intersection order is fixed *globally* (from the
+        whole index's histogram) before fanning out, so every shard
+        scans fragments in the same sequence regardless of its local
+        distribution — one of the two determinism anchors; the other is
+        the pointer-order merge, which is total because pointers
+        partition by shard.  Per-phase seconds are summed across shards
+        (aggregate work, matching the parallel-refine convention).
+        """
+        kind = self._parallel_refiner_kind()
+        assert kind is not None  # _pushdown_order gated on it
+        frag_order = list(range(len(plan.fragments)))
+        if len(frag_order) > 1:
+            frag_order.sort(
+                key=lambda i: self._estimate_candidates(
+                    plan.feature_keys[i], plan.anchored[i]
+                )
+            )
+        concurrency = max(
+            self.workers, getattr(self.index.config, "shard_workers", 1)
+        )
+        if concurrency > 1 and len(order) > 1:
+            from repro.core.parallel import scan_executor
+
+            executor = scan_executor(concurrency)
+            futures = [
+                (
+                    shard_id,
+                    executor.submit(
+                        self._pushdown_shard, shard_id, plan, frag_order, kind
+                    ),
+                )
+                for shard_id in order
+            ]
+            outcomes = []
+            for shard_id, future in futures:
+                try:
+                    outcomes.append(future.result())
+                except (StorageError, BTreeError) as exc:
+                    raise ShardError(
+                        f"shard {shard_id}: push-down failed: {exc}",
+                        shard=shard_id,
+                    ) from exc
+        else:
+            outcomes = []
+            for shard_id in order:
+                try:
+                    outcomes.append(
+                        self._pushdown_shard(shard_id, plan, frag_order, kind)
+                    )
+                except (StorageError, BTreeError) as exc:
+                    raise ShardError(
+                        f"shard {shard_id}: push-down failed: {exc}",
+                        shard=shard_id,
+                    ) from exc
+        survivors: list[NodePointer] = []
+        for candidates, shard_survivors, fetched, prune_s, refine_s in outcomes:
+            result.candidate_count += candidates
+            result.documents_fetched += fetched
+            result.prune_seconds += prune_s
+            result.refine_seconds += refine_s
+            survivors.extend(shard_survivors)
+        survivors.sort()
+        result.results = survivors
+
+    def _pushdown_shard(
+        self,
+        shard_id: int,
+        plan: QueryPlan,
+        frag_order: list[int],
+        kind: str,
+    ) -> tuple[int, list[NodePointer], int, float, float]:
+        """One shard's complete prune+refine, safe to run on a scan
+        thread: every object it touches (shard index, pager, store
+        cache, fresh engine) belongs to this shard alone."""
+        shard = self.index.shards[shard_id]
+        prune_started = time.perf_counter()
+        if self.prune_backend == "rtree":
+            view = shard.spatial_view()
+
+            def scan(i: int):
+                return view.candidates_for_key(
+                    plan.feature_keys[i], anchored=plan.anchored[i]
+                )
+
+        else:
+
+            def scan(i: int):
+                return shard.candidates_for_key(
+                    plan.feature_keys[i], anchored=plan.anchored[i]
+                )
+
+        if len(plan.fragments) == 1:
+            entries = sorted(scan(0), key=_entry_sort_key)
+        else:
+            # The shard-local slice of _intersect_fragments: the running
+            # survivor dict only ever holds this shard's pointers, so
+            # intersecting per shard and unioning is exact.
+            surviving: dict[NodePointer, IndexEntry] | None = None
+            for i in frag_order:
+                stream = scan(i)
+                if surviving is None:
+                    surviving = {entry.pointer: entry for entry in stream}
+                else:
+                    seen = {
+                        entry.pointer
+                        for entry in stream
+                        if entry.pointer in surviving
+                    }
+                    surviving = {
+                        pointer: entry
+                        for pointer, entry in surviving.items()
+                        if pointer in seen
+                    }
+                if not surviving:
+                    break
+            entries = sorted(
+                (surviving or {}).values(), key=lambda entry: entry.pointer
+            )
+        if plan.root_filter:
+            entries = [e for e in entries if e.pointer.node_id == 0]
+        prune_seconds = time.perf_counter() - prune_started
+
+        refine_started = time.perf_counter()
+        twig = plan.refined
+        refiner = (
+            StructuralJoinEngine(shard.store)
+            if kind == "structural_join"
+            else NavigationalEngine(shard.store)
+        )
+        doc_groups: dict[int, list[IndexEntry]] = {}
+        for entry in entries:
+            doc_groups.setdefault(entry.pointer.doc_id, []).append(entry)
+        survivors: list[NodePointer] = []
+        for doc_id in sorted(doc_groups):
+            members = doc_groups[doc_id]
+            document = shard.store.get_document(doc_id)
+            if twig.leading_axis is Axis.CHILD:
+                flags = refiner.refine_group(
+                    twig, document, [e.pointer.node_id for e in members]
+                )
+                survivors.extend(
+                    entry.pointer for entry, ok in zip(members, flags) if ok
+                )
+            elif refiner.evaluate_document(twig, document):
+                survivors.extend(entry.pointer for entry in members)
+        refine_seconds = time.perf_counter() - refine_started
+        return (
+            len(entries),
+            survivors,
+            len(doc_groups),
+            prune_seconds,
+            refine_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
     # Full pipeline
     # ------------------------------------------------------------------ #
 
@@ -273,31 +472,43 @@ class FixQueryProcessor:
                 result.plan_seconds = time.perf_counter() - started
             result.plan_cached = cached
 
-            with self.obs.span("query.prune") as prune_span:
-                started = time.perf_counter()
-                candidates = self._pruned_candidates(plan)
-                result.prune_seconds = time.perf_counter() - started
-                result.candidate_count = len(candidates)
-                prune_span.set(candidates=len(candidates))
-
-            with self.obs.span("query.refine") as refine_span:
-                started = time.perf_counter()
-                if self.grouped or self.workers > 1:
-                    survivors, fetched = self._refine_grouped(
-                        plan.refined, candidates
+            order = self._pushdown_order(plan)
+            if order is not None:
+                result.pushdown = True
+                with self.obs.span(
+                    "query.pushdown", shards=len(order)
+                ) as push_span:
+                    self._query_pushdown(plan, order, result)
+                    push_span.set(
+                        candidates=result.candidate_count,
+                        survivors=result.result_count,
                     )
-                else:
-                    survivors = [
-                        entry.pointer
-                        for entry in candidates
-                        if self._refine_entry(plan.refined, entry)
-                    ]
-                    fetched = len(candidates)
-                survivors.sort()
-                result.results = survivors
-                result.documents_fetched = fetched
-                result.refine_seconds = time.perf_counter() - started
-                refine_span.set(groups=fetched, survivors=len(survivors))
+            else:
+                with self.obs.span("query.prune") as prune_span:
+                    started = time.perf_counter()
+                    candidates = self._pruned_candidates(plan)
+                    result.prune_seconds = time.perf_counter() - started
+                    result.candidate_count = len(candidates)
+                    prune_span.set(candidates=len(candidates))
+
+                with self.obs.span("query.refine") as refine_span:
+                    started = time.perf_counter()
+                    if self.grouped or self.workers > 1:
+                        survivors, fetched = self._refine_grouped(
+                            plan.refined, candidates
+                        )
+                    else:
+                        survivors = [
+                            entry.pointer
+                            for entry in candidates
+                            if self._refine_entry(plan.refined, entry)
+                        ]
+                        fetched = len(candidates)
+                    survivors.sort()
+                    result.results = survivors
+                    result.documents_fetched = fetched
+                    result.refine_seconds = time.perf_counter() - started
+                    refine_span.set(groups=fetched, survivors=len(survivors))
 
             query_span.set(
                 candidates=result.candidate_count,

@@ -17,10 +17,21 @@ The invariants that make the coordinator transparent:
 * **One shared encoder.**  Every shard indexes under the coordinator's
   :class:`~repro.spectral.EdgeLabelEncoder`, pre-seeded over *all*
   documents in global doc-id order before any shard builds — the same
-  determinism invariant the parallel build keeps (DESIGN.md §7).  A
-  query's feature key is therefore valid against every shard, and the
+  determinism invariant the parallel build keeps (DESIGN.md §7).
+  Seeding rides the routing pass: placement happens in ascending doc-id
+  order, so walking each document's labels as it is placed is order-
+  equivalent to the old dedicated pre-pass (and saves a full re-parse).
+  A query's feature key is therefore valid against every shard, and the
   union of shard candidates is exactly the single index's candidate
   multiset: query answers are pointer-identical for any shard count.
+* **Parallel shard builds.**  With ``shard_workers > 1`` the per-shard
+  staging (parse + bisimulation + eigensolve) fans out across a cached
+  process pool; the coordinator absorbs results in shard order and
+  loads each staged entry list through the same bulk insert the serial
+  build uses, so stats, traces, and on-disk bytes are identical for any
+  worker count (``shard_workers=1`` runs the very same worker function
+  in-process).  Spilled stores ship as ``ShardStoreRef`` (path + record
+  directory) and are reattached read-only inside the worker.
 * **Scatter-gather with selectivity ordering.**  A pruning scan visits
   shards most-selective-first, ordered by the per-shard λ_max histogram
   under the optimizer's cost model, and *skips* shards whose histogram
@@ -28,15 +39,22 @@ The invariants that make the coordinator transparent:
   estimate sound — :meth:`~repro.core.stats.FeatureHistogram.may_contain`).
   With ``shard_affinity="root-label"``, anchored queries typically visit
   a single shard.  Skip/visit counts publish as ``shards.*`` counters.
-* **Failure containment.**  Storage or B-tree damage inside one shard
-  surfaces as a typed :class:`~repro.errors.ShardError` naming the
-  shard, instead of poisoning the gather with a low-level exception.
+  With ``shard_workers > 1`` surviving shards are scanned concurrently
+  on a shared thread pool and drained in dispatch order — concurrency
+  never changes the merge order.
+* **Failure containment.**  Storage or B-tree damage inside one shard —
+  during a build worker's staging or a scatter scan — surfaces as a
+  typed :class:`~repro.errors.ShardError` naming the shard, instead of
+  poisoning the gather with a low-level exception or pool traceback.
 
 Cross-shard refinement needs no machinery of its own: the processor's
 grouped refinement batches candidates per document and fans the groups
 out across the persistent refinement worker pools (PR 2), and since
 shard candidates are plain global-pointer entries, groups from every
-shard ride the same pools in one pass.
+shard ride the same pools in one pass.  Alternatively the processor can
+push the whole prune+refine pipeline *into* the shards
+(``FixQueryProcessor(pushdown=True)`` over :meth:`pushdown_shards`), so
+only verified matches cross back — pointer-identical either way.
 """
 
 from __future__ import annotations
@@ -47,7 +65,7 @@ import os
 import re
 from collections.abc import Iterator
 
-from repro.core.construction import seed_encoder
+from repro.core.construction import seed_encoder, seed_encoder_from_source
 from repro.core.index import FixIndex, FixIndexConfig, IndexEntry
 from repro.core.persistence import load_index, save_index
 from repro.core.stats import FeatureHistogram
@@ -124,8 +142,21 @@ class _ShardedSpatialView:
     def candidates_for_key(
         self, query_key: FeatureKey, anchored: bool = True
     ) -> Iterator[IndexEntry]:
-        for shard_id in self._owner._scan_order(query_key, anchored):
-            shard = self._owner.shards[shard_id]
+        owner = self._owner
+        order = owner._scan_order(query_key, anchored)
+        if owner.config.shard_workers > 1 and len(order) > 1:
+            yield from owner._scatter_concurrent(
+                order,
+                lambda shard_id: list(
+                    owner.shards[shard_id]
+                    .spatial_view()
+                    .candidates_for_key(query_key, anchored=anchored)
+                ),
+                "R-tree scan",
+            )
+            return
+        for shard_id in order:
+            shard = owner.shards[shard_id]
             try:
                 yield from shard.spatial_view().candidates_for_key(
                     query_key, anchored=anchored
@@ -304,25 +335,97 @@ class ShardedFixIndex:
             self.routing.append(None)
         self.routing.append(shard_id)
         self.shards[shard_id].store.add_source_at(source, doc_id)
+        # Seed the shared encoder during routing: placement happens in
+        # strictly ascending doc-id order from both build entrypoints,
+        # so this is the same deterministic pre-pass _build_all used to
+        # run — minus the second full-corpus store-fetch-and-parse.
+        # Structural indexes seed from the token stream already in hand;
+        # the value extension needs tree text ordering, so it parses.
+        if self.value_hasher is None:
+            seed_encoder_from_source(self.encoder, source)
+        else:
+            seed_encoder(
+                self.encoder, parse_xml(source), text_label=self.value_hasher
+            )
 
     def _build_all(self) -> None:
-        with self.obs.span("build.sharded", shards=self.shard_count):
-            # Global encoder pre-pass in doc-id order — the exact
-            # invariant FixIndex._stage_entries keeps, lifted over the
-            # whole collection so shard-local passes can be skipped.
-            with self.obs.span("build.seed"):
-                for doc_id, shard_id in enumerate(self.routing):
-                    if shard_id is None:
-                        continue
-                    document = self.shards[shard_id].store.get_document(doc_id)
-                    seed_encoder(
-                        self.encoder, document, text_label=self.value_hasher
-                    )
+        from repro.core.parallel import StagedBuild, parallel_shard_stage
+
+        workers = self.config.shard_workers
+        with self.obs.span(
+            "build.sharded", shards=self.shard_count, shard_workers=workers
+        ):
+            doc_lists: list[list[int]] = [[] for _ in range(self.shard_count)]
+            for doc_id, shard_id in enumerate(self.routing):
+                if shard_id is not None:
+                    doc_lists[shard_id].append(doc_id)
+            tasks = [
+                self._shard_build_task(shard_id)
+                for shard_id in range(self.shard_count)
+                if doc_lists[shard_id]
+            ]
+            # Ordered streaming: shard k's staged entries arrive (and
+            # its B-tree bulk-loads) while later shards still stage.
+            results = parallel_shard_stage(tasks, workers)
             for shard_id, shard in enumerate(self.shards):
-                with self.obs.span("build.shard", shard=shard_id):
-                    shard.rebuild(seed=False)
+                with self.obs.span("build.shard", shard=shard_id) as span:
+                    if doc_lists[shard_id]:
+                        staged_id, staged = next(results)
+                        assert staged_id == shard_id
+                        if staged.trace_events:
+                            self.obs.tracer.absorb(
+                                staged.trace_events,
+                                parent_id=self.obs.tracer.current_id,
+                            )
+                        if staged.encoder_state is not None:
+                            # The no-drift invariant: pre-seeding was
+                            # complete, so this merge must be a no-op.
+                            self.encoder.merge(
+                                EdgeLabelEncoder.from_dict(staged.encoder_state)
+                            )
+                    else:
+                        staged = StagedBuild()
+                    shard.rebuild_from_staged(staged)
+                    span.set(entries=shard.entry_count)
         self._invalidate_views()
         self._publish_metrics()
+
+    def _shard_build_task(self, shard_id: int):
+        """The pickled build payload for one populated shard: inline
+        sources for in-memory shards, a flushed-store reference for
+        spilled ones (keeping the fan-out O(documents) in pickle size,
+        so the out-of-core property survives parallel builds)."""
+        from repro.core.parallel import ShardBuildTask, ShardStoreRef
+
+        shard = self.shards[shard_id]
+        store = shard.store
+        documents = None
+        store_ref = None
+        if store.pager.in_memory:
+            documents = tuple(
+                (doc_id, store.get_source(doc_id)) for doc_id in store.doc_ids()
+            )
+        else:
+            store.pager.flush()  # workers reopen the file read-only
+            store_ref = ShardStoreRef(
+                pages_path=store.pager.path,
+                page_size=store.pager.page_size,
+                page_cache_pages=self.config.page_cache_pages,
+                records=tuple(store.record_locations()),
+            )
+        return ShardBuildTask(
+            shard_id=shard_id,
+            encoder=self.encoder.to_dict(),
+            depth_limit=self.config.depth_limit,
+            value_buckets=self.config.value_buckets,
+            max_pattern_vertices=self.config.max_pattern_vertices,
+            max_unfolding_opens=self.config.max_unfolding_opens,
+            feature_cache=self.config.feature_cache,
+            eigen_solver=shard.eigen_solver,
+            trace=self.obs.tracing,
+            documents=documents,
+            store_ref=store_ref,
+        )
 
     # ------------------------------------------------------------------ #
     # Incremental maintenance
@@ -413,6 +516,21 @@ class ShardedFixIndex:
         order = self._scan_order(query_key, anchored)
         counters = self.obs.registry
         counters.counter("shards.skipped").inc(self.shard_count - len(order))
+        if self.config.shard_workers > 1 and len(order) > 1:
+            # Eager dispatch scans every ordered shard, so visits are
+            # counted up front (and in this consumer thread only —
+            # registry counters are not thread-safe).
+            counters.counter("shards.visited").inc(len(order))
+            yield from self._scatter_concurrent(
+                order,
+                lambda shard_id: list(
+                    self.shards[shard_id].candidates_for_key(
+                        query_key, anchored=anchored
+                    )
+                ),
+                "pruning scan",
+            )
+            return
         for shard_id in order:
             counters.counter("shards.visited").inc()
             try:
@@ -424,6 +542,33 @@ class ShardedFixIndex:
                     f"shard {shard_id}: pruning scan failed: {exc}",
                     shard=shard_id,
                 ) from exc
+
+    def _scatter_concurrent(self, order, scan_one, what: str):
+        """Run ``scan_one(shard_id)`` for every shard of ``order`` on
+        the shared scan executor (bounded at ``shard_workers`` threads)
+        and yield the per-shard results *in ``order``* — a deterministic
+        shard-ordered merge, so the candidate stream is identical to the
+        serial gather.  Per-shard scans touch only their own shard's
+        B-tree/pager/store, so threads never share mutable state.
+
+        Raises:
+            ShardError: a shard's scan failed (names the shard).
+        """
+        from repro.core.parallel import scan_executor
+
+        executor = scan_executor(self.config.shard_workers)
+        futures = [
+            (shard_id, executor.submit(scan_one, shard_id))
+            for shard_id in order
+        ]
+        for shard_id, future in futures:
+            try:
+                chunk = future.result()
+            except (StorageError, BTreeError) as exc:
+                raise ShardError(
+                    f"shard {shard_id}: {what} failed: {exc}", shard=shard_id
+                ) from exc
+            yield from chunk
 
     def _scan_order(self, query_key: FeatureKey, anchored: bool) -> list[int]:
         """Shards worth scanning, cheapest (most selective) first."""
@@ -457,6 +602,45 @@ class ShardedFixIndex:
             ) from exc
         self._histograms[shard_id] = (shard.generation, histogram)
         return histogram
+
+    def pushdown_shards(
+        self, feature_keys, anchored: "list[bool] | tuple[bool, ...]"
+    ) -> list[int]:
+        """Shards that can contribute to a query whose *every* pruning
+        fragment is ``feature_keys`` — the shard set refinement push-down
+        scatters over (DESIGN.md §11).
+
+        Because pointers partition by shard, an intersection survivor
+        must appear in every fragment's candidate stream *within its own
+        shard*; a shard whose histogram proves any fragment empty there
+        cannot contribute and is skipped soundly.  Ordered most
+        selective first by the first fragment's scan cost.  Updates the
+        ``shards.visited`` / ``shards.skipped`` counters (one visit per
+        participating shard — prune and refine happen in one descent).
+        """
+        from repro.core.optimizer import shard_scan_cost
+
+        guard = self.config.guard_band
+        ranked: list[tuple[float, int]] = []
+        for shard_id in range(self.shard_count):
+            histogram = self._histogram_for(shard_id)
+            if not all(
+                histogram.may_contain(key, anchored=anchor, guard=guard)
+                for key, anchor in zip(feature_keys, anchored)
+            ):
+                continue
+            ranked.append(
+                (
+                    shard_scan_cost(histogram, feature_keys[0], anchored[0]),
+                    shard_id,
+                )
+            )
+        ranked.sort()
+        order = [shard_id for _, shard_id in ranked]
+        counters = self.obs.registry
+        counters.counter("shards.visited").inc(len(order))
+        counters.counter("shards.skipped").inc(self.shard_count - len(order))
+        return order
 
     def spatial_view(self) -> _ShardedSpatialView:
         """The scatter-gather R-tree facade (per-shard trees are built
@@ -504,7 +688,16 @@ class ShardedFixIndex:
         self.btree_stats().publish(registry)
         self.pager_stats().publish(registry)
 
+    def balance(self) -> dict:
+        """Per-shard entry/document balance (skew ratio, empty shards)
+        — see :func:`repro.core.stats.shard_balance`."""
+        from repro.core.stats import shard_balance
+
+        return shard_balance(self)
+
     def _publish_metrics(self) -> None:
+        import math
+
         registry = self.obs.registry
         self.publish_scan_stats(registry)
         registry.gauge("index.entries").set(self.entry_count)
@@ -513,6 +706,10 @@ class ShardedFixIndex:
         registry.gauge("shards.count").set(self.shard_count)
         for shard_id, shard in enumerate(self.shards):
             registry.gauge(f"shards.{shard_id}.entries").set(shard.entry_count)
+        balance = self.balance()
+        registry.gauge("shards.empty").set(len(balance["empty_shards"]))
+        if math.isfinite(balance["skew"]):
+            registry.gauge("shards.skew").set(balance["skew"])
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -546,6 +743,7 @@ class ShardedFixIndex:
                 "eigen_solver": self.config.eigen_solver,
                 "shards": self.config.shards,
                 "shard_affinity": self.config.shard_affinity,
+                "shard_workers": self.config.shard_workers,
                 "page_cache_pages": self.config.page_cache_pages,
                 "spill_dir": None,
                 "btree_node_cache": self.config.btree_node_cache,
@@ -569,12 +767,14 @@ class ShardedFixIndex:
         directory: str,
         *,
         page_cache_pages: int | None = None,
+        shard_workers: int | None = None,
     ) -> "ShardedFixIndex":
         """Reattach to a sharded index previously :meth:`save`\\ d.
 
         ``page_cache_pages`` overrides the saved buffer-pool bound for
         this session (e.g. a query box with more memory than the build
-        box).
+        box); ``shard_workers`` overrides the scan-concurrency bound the
+        same way (manifests from older builds default to ``1``).
 
         Raises:
             StorageError: missing/corrupt manifest or format mismatch.
@@ -601,6 +801,8 @@ class ShardedFixIndex:
             config = dataclasses.replace(
                 config, page_cache_pages=page_cache_pages
             )
+        if shard_workers is not None:
+            config = dataclasses.replace(config, shard_workers=shard_workers)
         sharded = cls.__new__(cls)
         sharded.config = config
         sharded.encoder = EdgeLabelEncoder.from_dict(manifest["encoder"])

@@ -136,3 +136,36 @@ class FeatureHistogram:
     def labels(self) -> list[str]:
         """Labels with at least one indexed entry."""
         return sorted(self._histograms)
+
+
+def shard_balance(index) -> dict:
+    """Per-shard balance summary for a sharded index.
+
+    Root-label affinity routes every document with the same root tag to
+    one shard, so a corpus with few distinct roots can leave shards
+    empty; the skew ratio makes that visible before it shows up as one
+    hot shard dominating scatter-gather latency.
+
+    Returns a dict with ``entries`` / ``documents`` (per-shard lists),
+    ``empty_shards`` (ids with zero entries), and ``skew`` (max/min
+    entry count; ``inf`` when some — but not all — shards are empty,
+    ``1.0`` for a wholly empty index).
+    """
+    entries = [shard.entry_count for shard in index.shards]
+    documents = [0] * len(entries)
+    for shard_id in index.routing:
+        if shard_id is not None:
+            documents[shard_id] += 1
+    empty_shards = [shard_id for shard_id, count in enumerate(entries) if count == 0]
+    if not entries or not any(entries):
+        skew = 1.0
+    elif empty_shards:
+        skew = math.inf
+    else:
+        skew = max(entries) / min(entries)
+    return {
+        "entries": entries,
+        "documents": documents,
+        "empty_shards": empty_shards,
+        "skew": skew,
+    }

@@ -198,6 +198,13 @@ class Pager:
         return self._fd is None
 
     @property
+    def path(self) -> str | None:
+        """The backing file path (``None`` for in-memory pagers).
+        Build workers use it to reopen a spilled store read-only in
+        another process after the coordinator flushes."""
+        return self._path
+
+    @property
     def cache_pages(self) -> int:
         """Buffer-pool capacity in pages."""
         return self._cache_pages

@@ -188,6 +188,48 @@ class PrimaryXMLStore:
         self._cache_put(doc_id, document)
         return document
 
+    def record_locations(self) -> list[tuple[int, int, int]]:
+        """``(doc_id, page_id, slot)`` for every live document, in
+        ``doc_id`` order — everything a shard-build worker needs to
+        :meth:`attach` to this store's (flushed) pages file and read the
+        sources itself, instead of the coordinator shipping the bytes
+        through the task pickle."""
+        return [
+            (doc_id, pointer.page_id, pointer.slot)
+            for doc_id, pointer in enumerate(self._directory)
+            if pointer is not None
+        ]
+
+    @classmethod
+    def attach(
+        cls,
+        pages_path: str,
+        page_size: int,
+        records: "list[tuple[int, int, int]] | tuple[tuple[int, int, int], ...]",
+        *,
+        page_cache_pages: int | None = None,
+        cache_documents: int = 64,
+    ) -> "PrimaryXMLStore":
+        """Reattach to an already-written pages file from a directory of
+        :meth:`record_locations` triples (no ``primary.json`` needed —
+        the spill-build counterpart of :meth:`load`, used by shard-build
+        worker processes).  The caller must not write through this store
+        while the owning process keeps its own pager open.
+
+        Raises:
+            PageError: unreadable or truncated pages file.
+        """
+        pager_options = (
+            {} if page_cache_pages is None else {"cache_pages": page_cache_pages}
+        )
+        pager = Pager(pages_path, page_size=page_size, **pager_options)
+        store = cls(pager, cache_documents=cache_documents)
+        for doc_id, page_id, slot in records:
+            while len(store._directory) <= doc_id:
+                store._directory.append(None)
+            store._directory[doc_id] = RecordPointer(page_id, slot)
+        return store
+
     def resolve(self, pointer: NodePointer) -> Element:
         """Return the element a pointer addresses.
 

@@ -1,7 +1,12 @@
 """Sharded-index tests: scatter-gather answers must be pointer-identical
 to the single-index answers for every shard count x worker count x
 affinity, incremental maintenance and persistence included; damage in
-one shard must surface as a typed :class:`ShardError` naming it."""
+one shard must surface as a typed :class:`ShardError` naming it.
+
+The parallel-build contract is stricter than answer identity: for any
+``shard_workers`` the staged entries AND the saved on-disk bytes must be
+identical to the serial build, and refinement push-down must return the
+same pointers as scatter-gather on both prune backends."""
 
 from __future__ import annotations
 
@@ -116,9 +121,10 @@ class TestPointerIdentity:
         ),
         shards=st.integers(min_value=1, max_value=6),
         workers=st.sampled_from([1, 3]),
+        shard_workers=st.sampled_from([1, 3]),
         affinity=st.sampled_from(["hash", "root-label"]),
     )
-    def test_property(self, kinds, shards, workers, affinity):
+    def test_property(self, kinds, shards, workers, shard_workers, affinity):
         sources = [_source(*kind) for kind in kinds]
         single = FixIndex.build(
             _store(sources), FixIndexConfig(depth_limit=0)
@@ -126,13 +132,186 @@ class TestPointerIdentity:
         sharded = ShardedFixIndex.build(
             _store(sources),
             FixIndexConfig(
-                depth_limit=0, shards=shards, shard_affinity=affinity
+                depth_limit=0,
+                shards=shards,
+                shard_affinity=affinity,
+                shard_workers=shard_workers,
             ),
         )
         assert _answers(sharded, workers=workers) == _answers(single)
 
 
+class TestParallelBuild:
+    @pytest.mark.parametrize("shard_workers", [2, 4])
+    def test_worker_grid_matches_single(self, shard_workers, single_answers):
+        config = FixIndexConfig(
+            depth_limit=0, shards=4, shard_workers=shard_workers
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        assert _answers(sharded) == single_answers
+
+    def test_entries_identical_to_serial(self):
+        sources = _corpus(20)
+        builds = [
+            ShardedFixIndex.build_from_sources(
+                sources,
+                FixIndexConfig(depth_limit=0, shards=3, shard_workers=w),
+            )
+            for w in (1, 3)
+        ]
+        serial, parallel = builds
+        for a, b in zip(serial.shards, parallel.shards):
+            assert [(e.key, e.pointer) for e in a.iter_entries()] == [
+                (e.key, e.pointer) for e in b.iter_entries()
+            ]
+
+    def test_on_disk_bytes_identical_to_serial(self, tmp_path):
+        sources = _corpus(20)
+        saved = {}
+        for workers in (1, 4):
+            config = FixIndexConfig(
+                depth_limit=0,
+                shards=3,
+                shard_affinity="root-label",
+                shard_workers=workers,
+                spill_dir=os.fspath(tmp_path / f"spill-{workers}"),
+            )
+            sharded = ShardedFixIndex.build_from_sources(sources, config)
+            out = os.fspath(tmp_path / f"out-{workers}")
+            sharded.save(out)
+            pages = {}
+            for dirpath, _, names in os.walk(out):
+                for name in names:
+                    if name.endswith(".pages"):
+                        path = os.path.join(dirpath, name)
+                        with open(path, "rb") as handle:
+                            pages[os.path.relpath(path, out)] = handle.read()
+            saved[workers] = pages
+        assert sorted(saved[1]) == sorted(saved[4])
+        assert saved[1] == saved[4]
+
+    def test_value_extended_parallel_build(self):
+        sources = _corpus(16)
+        builds = [
+            ShardedFixIndex.build_from_sources(
+                sources,
+                FixIndexConfig(
+                    depth_limit=0,
+                    shards=3,
+                    value_buckets=8,
+                    shard_workers=w,
+                ),
+            )
+            for w in (1, 2)
+        ]
+        assert _answers(builds[0]) == _answers(builds[1])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            FixIndexConfig(shard_workers=0)
+
+    def test_worker_failure_names_shard(self, tmp_path, monkeypatch):
+        # Damage one spilled shard store after routing but before the
+        # build fan-out: the worker's reattach must fail, and the
+        # coordinator must surface a ShardError naming that shard
+        # instead of a raw pool traceback.
+        victim_holder = []
+        original = ShardedFixIndex._build_all
+
+        def sabotage(self):
+            victim = next(
+                shard_id
+                for shard_id, shard in enumerate(self.shards)
+                if shard.store.document_count
+            )
+            victim_holder.append(victim)
+            pager = self.shards[victim].store.pager
+            pager.flush()
+            with open(pager.path, "ab") as handle:
+                handle.write(b"\x00" * 7)  # no longer whole pages
+            original(self)
+
+        monkeypatch.setattr(ShardedFixIndex, "_build_all", sabotage)
+        config = FixIndexConfig(
+            depth_limit=0,
+            shards=3,
+            shard_workers=2,
+            spill_dir=os.fspath(tmp_path / "spill"),
+        )
+        with pytest.raises(ShardError) as excinfo:
+            ShardedFixIndex.build_from_sources(_corpus(12), config)
+        assert excinfo.value.shard == victim_holder[0]
+        assert f"shard {victim_holder[0]}" in str(excinfo.value)
+        assert "build failed" in str(excinfo.value)
+
+
+class TestPushdown:
+    @pytest.mark.parametrize("backend", ["btree", "rtree"])
+    def test_matches_single(self, backend, single_answers):
+        config = FixIndexConfig(
+            depth_limit=0,
+            shards=4,
+            shard_affinity="root-label",
+            shard_workers=2,
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        processor = FixQueryProcessor(
+            sharded, pushdown=True, prune_backend=backend
+        )
+        got = {}
+        for query in _QUERIES:
+            result = processor.query(query)
+            got[query] = result.results
+            assert result.pushdown
+        assert got == single_answers
+
+    def test_structural_join_refiner(self, single_answers):
+        from repro.engine.structural_join import StructuralJoinEngine
+
+        sharded = ShardedFixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0, shards=3)
+        )
+        processor = FixQueryProcessor(
+            sharded, StructuralJoinEngine(sharded.store), pushdown=True
+        )
+        got = {q: processor.query(q).results for q in _QUERIES}
+        assert got == single_answers
+
+    def test_plain_index_ignores_pushdown(self, single_answers):
+        index = FixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0)
+        )
+        processor = FixQueryProcessor(index, pushdown=True)
+        result = processor.query("//sec/title")
+        assert not result.pushdown
+        assert result.results == single_answers["//sec/title"]
+
+    def test_skips_shards_and_counts(self):
+        config = FixIndexConfig(
+            depth_limit=0, shards=4, shard_affinity="root-label"
+        )
+        sharded = ShardedFixIndex.build(_store(_corpus()), config)
+        FixQueryProcessor(sharded, pushdown=True).query("/book/sec/p")
+        counters = sharded.obs.registry.snapshot()["counters"]
+        assert counters.get("shards.skipped", 0) > 0
+        assert counters.get("shards.visited", 0) >= 1
+
+
 class TestScatterOrdering:
+    def test_concurrent_scatter_matches_serial(self, single_answers):
+        builds = [
+            ShardedFixIndex.build(
+                _store(_corpus()),
+                FixIndexConfig(depth_limit=0, shards=4, shard_workers=w),
+            )
+            for w in (1, 4)
+        ]
+        serial, concurrent = builds
+        assert _answers(concurrent) == single_answers
+        counters = concurrent.obs.registry.snapshot()["counters"]
+        assert counters.get("shards.visited", 0) > 0
+
+
     def test_anchored_query_skips_unrelated_shards(self):
         config = FixIndexConfig(
             depth_limit=0, shards=4, shard_affinity="root-label"
@@ -213,6 +392,17 @@ class TestPersistence:
         assert _answers(sharded) == _answers(single)
         assert sharded.pager_stats().evictions > 0
 
+    def test_shard_workers_roundtrip_and_override(self, tmp_path):
+        sharded = ShardedFixIndex.build(
+            _store(_corpus(12)),
+            FixIndexConfig(depth_limit=0, shards=2, shard_workers=3),
+        )
+        directory = os.fspath(tmp_path / "idx")
+        sharded.save(directory)
+        assert ShardedFixIndex.load(directory).config.shard_workers == 3
+        override = ShardedFixIndex.load(directory, shard_workers=1)
+        assert override.config.shard_workers == 1
+
     def test_load_missing_raises(self, tmp_path):
         with pytest.raises(StorageError):
             ShardedFixIndex.load(os.fspath(tmp_path / "nothing"))
@@ -267,11 +457,65 @@ class TestShardedCLI:
             files.append(path)
         assert main(
             ["build", "--xml", *files, "--out", directory,
-             "--shards", "3", "--page-cache-pages", "64"]
+             "--shards", "3", "--shard-workers", "2",
+             "--page-cache-pages", "64"]
         ) == 0
         assert main(["query", directory, "//sec/title", "--workers", "2"]) == 0
+        assert main(
+            ["query", directory, "//sec/title", "--pushdown",
+             "--shard-workers", "2"]
+        ) == 0
         assert main(["stats", directory]) == 0
         output = capsys.readouterr().out
         assert "shards:         3" in output
+        assert "pushdown" in output
+        assert "balance:" in output
         assert "buffer pool" in output
         assert main(["verify", directory, "--fast"]) == 0
+
+    def test_stats_warns_on_empty_shards(self, tmp_path, capsys):
+        directory = os.fspath(tmp_path / "idx")
+        path = os.fspath(tmp_path / "doc.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(_source(0, 2, 1))  # one root label only
+        assert main(
+            ["build", "--xml", path, "--out", directory,
+             "--shards", "3", "--shard-affinity", "root-label"]
+        ) == 0
+        assert main(["stats", directory]) == 0
+        output = capsys.readouterr().out
+        assert "hold no entries" in output
+        assert "root-label affinity" in output
+
+
+class TestShardBalance:
+    def test_balanced(self):
+        from repro.core.stats import shard_balance
+
+        sharded = ShardedFixIndex.build(
+            _store(_corpus()), FixIndexConfig(depth_limit=0, shards=4)
+        )
+        balance = shard_balance(sharded)
+        assert sum(balance["documents"]) == 36
+        assert sum(balance["entries"]) == sharded.entry_count
+        assert balance["empty_shards"] == []
+        assert balance["skew"] >= 1.0
+
+    def test_empty_shards_give_infinite_skew(self):
+        import math
+
+        from repro.core.stats import shard_balance
+
+        # One distinct root label cannot populate 4 root-label shards.
+        sources = [_source(0, 2, i) for i in range(8)]
+        sharded = ShardedFixIndex.build_from_sources(
+            sources,
+            FixIndexConfig(
+                depth_limit=0, shards=4, shard_affinity="root-label"
+            ),
+        )
+        balance = shard_balance(sharded)
+        assert len(balance["empty_shards"]) == 3
+        assert math.isinf(balance["skew"])
+        gauges = sharded.obs.registry.snapshot()["gauges"]
+        assert gauges.get("shards.empty") == 3
