@@ -1,0 +1,352 @@
+"""Mutation-path benchmark: epoch-scoped invalidation under churn.
+
+The epoch layer's promise is that mutating one slice of the corpus
+costs only that slice's consumers: plans, histogram slices, and
+spatial partitions over *untouched* root labels survive every
+mutation, so steady-state query latency on a churning corpus should
+approach the read-only index, and the plan-cache hit rate for
+untouched labels should be *unchanged* by churn elsewhere.
+
+Three sections:
+
+* **read-only vs churn** — a query mix over label families 1..k runs
+  against (a) a quiet index and (b) the same index while family 0
+  churns (add+remove between query batches).  Reported: per-query
+  latency for both, their ratio, and the plan-cache hit rate of the
+  untouched-family queries under churn (acceptance: identical to the
+  read-only hit rate — scoped invalidation means churn on family 0 is
+  invisible to the others' plans).
+
+* **global-counter comparison** — the same churn workload with the
+  plan cache forced onto the legacy exact-generation test (what the
+  single global counter gave us): every mutation invalidates every
+  plan, so each query batch re-plans (re-parses, re-eigensolves).
+
+* **concurrent checksum grid** — a mutator thread races a query
+  thread over a shards x workers x backend x pushdown grid; every
+  observed answer's checksum must equal the pre- or post-mutation
+  quiesced answer (snapshot isolation: never a torn mix), and the
+  settled index must answer checksum-identical to a quiesced rerun.
+
+Standalone runner (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_mutation.py [--quick]
+
+writes ``BENCH_mutation.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import threading
+import time
+
+from repro.core import (
+    FixIndex,
+    FixIndexConfig,
+    FixQueryProcessor,
+    ShardedFixIndex,
+)
+from repro.storage import PrimaryXMLStore
+from repro.xmltree import parse_xml
+
+#: disjoint label families: family i's documents contain only family-i
+#: labels, so mutations to one family share no root label with the
+#: plans, histogram slices, or spatial partitions of any other.
+FAMILY_COUNT = 4
+FAMILY_SHAPES = [
+    "<fam{i}><rec{i}><name{i}/><addr{i}/></rec{i}><rec{i}><name{i}/></rec{i}></fam{i}>",
+    "<fam{i}><rec{i}><name{i}/><mail{i}><to{i}/></mail{i}></rec{i}></fam{i}>",
+    "<fam{i}><idx{i}><key{i}/></idx{i}><rec{i}><name{i}/></rec{i}></fam{i}>",
+]
+
+
+def family_source(family: int, variant: int) -> str:
+    return FAMILY_SHAPES[variant % len(FAMILY_SHAPES)].format(i=family)
+
+
+def corpus(docs_per_family: int) -> list[str]:
+    return [
+        family_source(family, variant)
+        for family in range(FAMILY_COUNT)
+        for variant in range(docs_per_family)
+    ]
+
+
+def untouched_query_mix() -> list[str]:
+    """Queries over families 1..k-1 only — family 0 is the churn zone."""
+    mix = []
+    for family in range(1, FAMILY_COUNT):
+        mix.append(f"//rec{family}/name{family}")
+        mix.append(f"//fam{family}/rec{family}")
+    return mix
+
+
+def answer_checksum(result) -> str:
+    payload = ",".join(
+        f"{p.doc_id}:{p.node_id}" for p in sorted(result.results)
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def build_plain(sources, depth_limit: int = 3) -> FixIndex:
+    store = PrimaryXMLStore()
+    for source in sources:
+        store.add_document(parse_xml(source))
+    return FixIndex.build(store, FixIndexConfig(depth_limit=depth_limit))
+
+
+def build_sharded(sources, shards: int, depth_limit: int = 3) -> ShardedFixIndex:
+    store = PrimaryXMLStore()
+    for source in sources:
+        store.add_document(parse_xml(source))
+    return ShardedFixIndex.build(
+        store, FixIndexConfig(depth_limit=depth_limit, shards=shards)
+    )
+
+
+# --------------------------------------------------------------------- #
+# Section 1+2: steady-state latency and plan retention under churn
+# --------------------------------------------------------------------- #
+
+
+def run_query_batches(processor, mix, batches, mutate=None) -> float:
+    """Total seconds spent querying (mutations excluded from the
+    clock); ``mutate(batch_index)`` runs between batches."""
+    spent = 0.0
+    for batch in range(batches):
+        if mutate is not None:
+            mutate(batch)
+        started = time.perf_counter()
+        for query in mix:
+            processor.query(query)
+        spent += time.perf_counter() - started
+    return spent
+
+
+def bench_churn(docs_per_family: int, batches: int) -> dict:
+    mix = untouched_query_mix()
+    churn_source = family_source(0, 0)
+
+    # Read-only baseline.
+    index = build_plain(corpus(docs_per_family))
+    processor = FixQueryProcessor(index)
+    readonly_seconds = run_query_batches(processor, mix, batches)
+    readonly_stats = processor.plan_cache.stats_dict()
+
+    # Churning: family 0 mutates between every batch.
+    index = build_plain(corpus(docs_per_family))
+    processor = FixQueryProcessor(index)
+
+    def mutate(_batch):
+        doc_id = index.add_document(parse_xml(churn_source))
+        index.remove_document(doc_id)
+
+    churn_seconds = run_query_batches(processor, mix, batches, mutate)
+    churn_stats = processor.plan_cache.stats_dict()
+
+    # The same churn with the legacy global-counter invalidation: every
+    # mutation kills every plan (exact-generation matching), so each
+    # batch replans its whole mix.
+    index = build_plain(corpus(docs_per_family))
+    processor = FixQueryProcessor(index)
+    legacy_generation = index.generation
+
+    def mutate_legacy(_batch):
+        nonlocal legacy_generation
+        doc_id = index.add_document(parse_xml(churn_source))
+        index.remove_document(doc_id)
+        legacy_generation = index.generation
+
+    # Force PlanCache.get onto the legacy int path: exact-generation
+    # matching, i.e. the global counter's invalidate-everything model.
+    processor._epoch_view = lambda: legacy_generation  # type: ignore[method-assign]
+    global_seconds = run_query_batches(
+        processor, mix, batches, mutate_legacy
+    )
+    global_stats = processor.plan_cache.stats_dict()
+
+    queries = batches * len(mix)
+    return {
+        "queries_per_mode": queries,
+        "readonly_ms_per_query": readonly_seconds / queries * 1e3,
+        "churn_ms_per_query": churn_seconds / queries * 1e3,
+        "global_counter_ms_per_query": global_seconds / queries * 1e3,
+        "churn_over_readonly": churn_seconds / readonly_seconds,
+        "global_over_readonly": global_seconds / readonly_seconds,
+        "readonly_plan_hit_rate": readonly_stats["hit_rate"],
+        "churn_plan_hit_rate": churn_stats["hit_rate"],
+        "global_counter_plan_hit_rate": global_stats["hit_rate"],
+        "plans_retained_across_epochs": churn_stats["scoped_retained"],
+        "hit_rate_unchanged_by_churn": readonly_stats["hit_rate"]
+        == churn_stats["hit_rate"],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Section 3: concurrent mutate+query vs quiesced, across the grid
+# --------------------------------------------------------------------- #
+
+
+def bench_concurrent_grid(docs_per_family: int, churn_rounds: int) -> list[dict]:
+    sources = corpus(docs_per_family)
+    churn_source = family_source(0, 1)
+    mix = untouched_query_mix() + ["//rec0/name0"]
+    results = []
+    for shards in (1, 2):
+        for workers in (1, 2):
+            for backend in ("btree", "rtree"):
+                pushdown_options = (False, True) if shards > 1 else (False,)
+                for pushdown in pushdown_options:
+                    if pushdown and backend == "rtree":
+                        continue  # one pushdown flavour keeps the grid small
+                    results.append(
+                        _concurrent_cell(
+                            sources,
+                            churn_source,
+                            mix,
+                            shards=shards,
+                            workers=workers,
+                            backend=backend,
+                            pushdown=pushdown,
+                            churn_rounds=churn_rounds,
+                        )
+                    )
+    return results
+
+
+def _concurrent_cell(
+    sources,
+    churn_source,
+    mix,
+    *,
+    shards: int,
+    workers: int,
+    backend: str,
+    pushdown: bool,
+    churn_rounds: int,
+) -> dict:
+    if shards > 1:
+        index = build_sharded(sources, shards)
+    else:
+        index = build_plain(sources)
+    processor = FixQueryProcessor(
+        index, workers=workers, prune_backend=backend, pushdown=pushdown
+    )
+    # Quiesced checksums for both reachable states: churn-doc absent
+    # (pre) and churn-doc present (post) — the mutator below always
+    # returns to absent, and snapshot isolation means every concurrent
+    # answer must equal one of the two.
+    pre = {q: answer_checksum(processor.query(q)) for q in mix}
+    probe_id = index.add_document(parse_xml(churn_source))
+    post = {q: answer_checksum(processor.query(q)) for q in mix}
+    index.remove_document(probe_id)
+
+    errors: list[BaseException] = []
+    done = threading.Event()
+    started = threading.Event()
+
+    def mutate():
+        try:
+            started.wait(timeout=30)  # overlap with the query sweeps
+            for _ in range(churn_rounds):
+                doc_id = index.add_document(parse_xml(churn_source))
+                index.remove_document(doc_id)
+        except BaseException as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            done.set()
+
+    observed = 0
+    torn = 0
+    thread = threading.Thread(target=mutate)
+    thread.start()
+    sweeps = 0
+    while not done.is_set() or sweeps < 3:
+        for query in mix:
+            checksum = answer_checksum(processor.query(query))
+            observed += 1
+            if checksum not in (pre[query], post[query]):
+                torn += 1
+        sweeps += 1
+        started.set()
+    thread.join(timeout=60)
+    if errors:
+        raise errors[0]
+    quiesced_identical = all(
+        answer_checksum(processor.query(q)) == pre[q] for q in mix
+    )
+    cell = {
+        "shards": shards,
+        "workers": workers,
+        "backend": backend,
+        "pushdown": pushdown,
+        "concurrent_answers": observed,
+        "torn_answers": torn,
+        "quiesced_checksum_identical": quiesced_identical,
+    }
+    if torn or not quiesced_identical:
+        raise SystemExit(f"FAIL: snapshot isolation violated: {cell}")
+    return cell
+
+
+# --------------------------------------------------------------------- #
+# Runner
+# --------------------------------------------------------------------- #
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller corpus / fewer rounds"
+    )
+    args = parser.parse_args()
+    docs_per_family = 4 if args.quick else 12
+    batches = 20 if args.quick else 60
+    churn_rounds = 6 if args.quick else 15
+
+    print("== churn vs read-only steady state ==")
+    churn = bench_churn(docs_per_family, batches)
+    for key, value in churn.items():
+        print(f"  {key}: {value:.4f}" if isinstance(value, float) else f"  {key}: {value}")
+    if not churn["hit_rate_unchanged_by_churn"]:
+        print("FAIL: churn on family 0 changed untouched families' plan hit rate")
+        return 1
+
+    print("== concurrent mutate+query checksum grid ==")
+    grid = bench_concurrent_grid(docs_per_family, churn_rounds)
+    for cell in grid:
+        print(
+            f"  shards={cell['shards']} workers={cell['workers']} "
+            f"backend={cell['backend']} pushdown={cell['pushdown']}: "
+            f"{cell['concurrent_answers']} answers, "
+            f"{cell['torn_answers']} torn, quiesced_identical="
+            f"{cell['quiesced_checksum_identical']}"
+        )
+
+    out_path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_mutation.json",
+    )
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "quick": args.quick,
+                "docs_per_family": docs_per_family,
+                "families": FAMILY_COUNT,
+                "churn": churn,
+                "concurrent_grid": grid,
+            },
+            handle,
+            indent=2,
+        )
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

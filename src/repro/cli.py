@@ -6,6 +6,9 @@ Commands:
   primary store, build a FIX index, and save both to a directory.
 * ``query``  — run a path expression against a saved index; prints the
   matched units and the phase breakdown.
+* ``add``    — incrementally index new XML files into a saved index
+  (label-scoped invalidation; no rebuild).
+* ``remove`` — remove documents (and their entries) from a saved index.
 * ``stats``  — summarize a saved index (entries, sizes, labels, caches).
 * ``datasets`` — list the built-in synthetic data sets.
 * ``bench``  — regenerate one of the paper's tables/figures.
@@ -172,6 +175,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sharded indexes: run prune+refine inside each shard that "
         "can hold a candidate and merge only verified matches (answers "
         "identical to the scatter-gather path)",
+    )
+
+    add = commands.add_parser(
+        "add", help="add documents to a saved index incrementally"
+    )
+    add.add_argument("index_dir", metavar="DIR")
+    add.add_argument(
+        "--xml", nargs="+", required=True, metavar="FILE",
+        help="XML files to store and index",
+    )
+
+    remove = commands.add_parser(
+        "remove", help="remove documents from a saved index"
+    )
+    remove.add_argument("index_dir", metavar="DIR")
+    remove.add_argument(
+        "doc_ids", nargs="+", type=int, metavar="DOC_ID",
+        help="document ids to remove (see 'repro query' output)",
     )
 
     stats = commands.add_parser("stats", help="summarize a saved index")
@@ -383,6 +404,45 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _save_mutated(index, store, index_dir: str) -> None:
+    """Persist an index mutated in place by ``add``/``remove``."""
+    if isinstance(index, ShardedFixIndex):
+        index.save(index_dir)
+    else:
+        store.save(os.path.join(index_dir, "store"))
+        save_index(index, index_dir)
+
+
+def _cmd_add(args: argparse.Namespace) -> int:
+    store, index = _open(args.index_dir)
+    for path in args.xml:
+        started = time.perf_counter()
+        doc_id = index.add_document(parse_xml_file(path))
+        seconds = time.perf_counter() - started
+        print(
+            f"added {path} as doc {doc_id} in {seconds * 1000:.1f}ms "
+            f"(epoch {index.generation})"
+        )
+    _save_mutated(index, store, args.index_dir)
+    print(f"saved -> {args.index_dir} ({index.entry_count} entries)")
+    return 0
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    store, index = _open(args.index_dir)
+    for doc_id in args.doc_ids:
+        started = time.perf_counter()
+        removed = index.remove_document(doc_id)
+        seconds = time.perf_counter() - started
+        print(
+            f"removed doc {doc_id} ({removed} entries) in "
+            f"{seconds * 1000:.1f}ms (epoch {index.generation})"
+        )
+    _save_mutated(index, store, args.index_dir)
+    print(f"saved -> {args.index_dir} ({index.entry_count} entries)")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     _, index = _open(args.index_dir)
     config = index.config
@@ -551,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "build": _cmd_build,
         "query": _cmd_query,
+        "add": _cmd_add,
+        "remove": _cmd_remove,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "verify": _cmd_verify,

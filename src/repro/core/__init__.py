@@ -14,7 +14,8 @@
   optimizer cost estimation, with candidate-count estimation.
 """
 
-from repro.core.index import FixIndex, FixIndexConfig, IndexEntry
+from repro.core.epoch import EpochManager, EpochSnapshot
+from repro.core.index import FixIndex, FixIndexConfig, IndexEntry, StagedMutation
 from repro.core.metrics import (
     PruningMetrics,
     QueryMetricsLog,
@@ -34,8 +35,11 @@ from repro.core.verify import VerificationReport, verify_index
 __all__ = [
     "AccessPath",
     "CostModel",
+    "EpochManager",
+    "EpochSnapshot",
     "ExplainedPlan",
     "FeatureHistogram",
+    "StagedMutation",
     "QueryOptimizer",
     "FixIndex",
     "FixIndexConfig",

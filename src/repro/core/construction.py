@@ -112,28 +112,35 @@ class ConstructionStats:
             )
         self.per_document_vertices.extend(other.per_document_vertices)
 
-    def publish(self, registry: MetricsRegistry) -> None:
+    def publish(
+        self, registry: MetricsRegistry, prefix: str = "build."
+    ) -> None:
         """Sync these running totals into ``registry`` counters.
 
         Idempotent (the registry syncs by delta), so callers publish at
         every phase boundary — end of build, after ``add_document`` /
         ``remove_document`` — and the registry stays a faithful view of
         the stats without per-vertex counter traffic on the hot path.
+
+        ``prefix`` selects the counter namespace: the batch build
+        publishes under ``build.*``, while the incremental mutation path
+        publishes its own accumulator under ``build.incremental.*`` so
+        Table-1 phase totals never drift after mutations.
         """
-        registry.sync_counter("build.entries", self.entries)
-        registry.sync_counter("build.documents", self.documents)
-        registry.sync_counter("build.bisim_vertices", self.bisim_vertices)
-        registry.sync_counter("build.cache.hits", self.cache_hits)
-        registry.sync_counter("build.cache.misses", self.cache_misses)
+        registry.sync_counter(prefix + "entries", self.entries)
+        registry.sync_counter(prefix + "documents", self.documents)
+        registry.sync_counter(prefix + "bisim_vertices", self.bisim_vertices)
+        registry.sync_counter(prefix + "cache.hits", self.cache_hits)
+        registry.sync_counter(prefix + "cache.misses", self.cache_misses)
         registry.sync_counter(
-            "build.eigen.computations", self.eigen_computations
+            prefix + "eigen.computations", self.eigen_computations
         )
-        registry.sync_counter("build.eigen.batches", self.eigen_batches)
+        registry.sync_counter(prefix + "eigen.batches", self.eigen_batches)
         registry.sync_counter(
-            "build.oversized_patterns", self.oversized_patterns
+            prefix + "oversized_patterns", self.oversized_patterns
         )
         for size, count in self.eigen_batch_sizes.items():
-            registry.sync_counter(f"build.eigen.batch_size.{size}", count)
+            registry.sync_counter(f"{prefix}eigen.batch_size.{size}", count)
 
 
 #: the Table-1 phases, in presentation order.

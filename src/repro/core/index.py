@@ -32,6 +32,7 @@ from repro.core.construction import (
     PhaseTimings,
     seed_encoder,
 )
+from repro.core.epoch import EpochManager, EpochSnapshot
 from repro.core.values import ValueHasher
 from repro.errors import IndexCoverageError, UnsupportedQueryError
 from repro.obs import Obs, ObsConfig
@@ -194,6 +195,28 @@ class IndexEntry:
     record: RecordPointer | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class StagedMutation:
+    """One document's mutation delta, computed *outside* the write latch.
+
+    Entry generation (parse, bisimulation, eigensolve) touches nothing a
+    reader scans, so it runs concurrently with queries; only the B-tree
+    delta in ``entries`` needs the exclusive apply window of
+    :meth:`EpochManager.mutation`.  ``labels`` is the touched root-label
+    set — the invalidation scope the epoch layer publishes.
+    """
+
+    doc_id: int
+    #: ``(encoded feature key, packed NodePointer value)`` pairs.
+    entries: tuple[tuple[bytes, bytes], ...]
+    #: root labels of the document's entries (the invalidation scope).
+    labels: frozenset[str]
+    #: the shadow generator's statistics (cache hits, eigensolves, ...).
+    stats: ConstructionStats
+    #: wall-clock seconds spent staging.
+    seconds: float
+
+
 @dataclass
 class BuildReport:
     """What a build did: Algorithm 1's observable costs.
@@ -310,11 +333,24 @@ class FixIndex:
             timings=self._generator.timings,
             eigen_solver=self.eigen_solver,
         )
-        #: bumped by every mutation (add/remove document); query plans
-        #: and spatial views cache against it.
-        self.generation = 0
+        #: the epoch layer: readers pin snapshots, mutations publish
+        #: per-root-label epochs, and every cached view (plans,
+        #: histograms, spatial partitions) validates against it.
+        self.epochs = EpochManager()
         self._spatial_view = None
-        self._spatial_generation = -1
+        self._spatial_snapshot: EpochSnapshot | None = None
+        #: incremental-maintenance accounting, kept apart from the batch
+        #: build's stats so Table-1 phase totals never drift after
+        #: mutations (published under ``build.incremental.*``).
+        self._incremental_stats = ConstructionStats()
+        self._documents_removed = 0
+        self._entries_removed = 0
+
+    @property
+    def generation(self) -> int:
+        """The global epoch — the legacy single-counter view.  Bumped by
+        every mutation; per-label validity lives on :attr:`epochs`."""
+        return self.epochs.epoch
 
     # ------------------------------------------------------------------ #
     # Construction (Algorithm 1)
@@ -373,6 +409,7 @@ class FixIndex:
         self.report.btree_bytes = self.btree.size_bytes()
         if self.clustered_store is not None:
             self.report.clustered_bytes = self.clustered_store.size_bytes()
+        self.epochs.rebuild()  # full invalidation: every label moved
         self._publish_build_metrics()
 
     def rebuild_from_staged(self, staged) -> None:
@@ -401,6 +438,7 @@ class FixIndex:
         self.report.timings.insert += time.perf_counter() - insert_started
         self.report.seconds = time.perf_counter() - started
         self.report.btree_bytes = self.btree.size_bytes()
+        self.epochs.rebuild()
         self._publish_build_metrics()
 
     def _fresh_btree_pager(self):
@@ -584,19 +622,77 @@ class FixIndex:
         self.index_document(doc_id, document)
         return doc_id
 
-    def index_document(self, doc_id: int, document) -> None:
+    def index_document(self, doc_id: int, document) -> StagedMutation:
         """Generate and insert the index entries for an already-stored
         document (the indexing half of :meth:`add_document` — a sharded
         coordinator stores under a global id first, then indexes here).
+        Returns the applied :class:`StagedMutation`.
         """
         self._require_unclustered()
-        with self.obs.span("index.add_document", doc=doc_id):
-            for entry in self._generator.entries_for(document):
-                key = self._encode_key(entry.key)
-                self.btree.insert(key, NodePointer(doc_id, entry.node_id).pack())
+        staged = self.stage_document(doc_id, document)
+        self.apply_staged_add(staged)
+        return staged
+
+    def _shadow_generator(self) -> EntryGenerator:
+        """A throwaway generator for one mutation: it shares the encoder
+        (so keys come out identical) and routes explicitly through the
+        content-addressed spectral feature cache (so a re-staged
+        document's eigensolves are cache hits), but keeps its own stats
+        — the batch build's Table-1 accounting is never touched by the
+        incremental path."""
+        return EntryGenerator(
+            self.encoder,
+            self.config.depth_limit,
+            text_label=self.value_hasher,
+            max_pattern_vertices=self.config.max_pattern_vertices,
+            max_unfolding_opens=self.config.max_unfolding_opens,
+            cache=self.feature_cache,
+            solver=self.eigen_solver,
+        )
+
+    def stage_document(self, doc_id: int, document) -> StagedMutation:
+        """Compute one document's insertion delta without touching any
+        shared structure a reader scans — safe to run concurrently with
+        pinned queries; only :meth:`apply_staged_add` needs the
+        exclusive epoch window."""
+        self._require_unclustered()
+        started = time.perf_counter()
+        shadow = self._shadow_generator()
+        entries: list[tuple[bytes, bytes]] = []
+        labels: set[str] = set()
+        for entry in shadow.entries_for(document):
+            labels.add(entry.key.root_label)
+            entries.append(
+                (
+                    self._encode_key(entry.key),
+                    NodePointer(doc_id, entry.node_id).pack(),
+                )
+            )
+        return StagedMutation(
+            doc_id=doc_id,
+            entries=tuple(entries),
+            labels=frozenset(labels),
+            stats=shadow.stats,
+            seconds=time.perf_counter() - started,
+        )
+
+    def apply_staged_add(self, staged: StagedMutation) -> None:
+        """Insert a staged document delta under the exclusive epoch
+        window, publishing a new snapshot scoped to its root labels."""
+        with self.obs.span(
+            "index.add_document", doc=staged.doc_id
+        ) as span:
+            with self.epochs.mutation(staged.labels):
+                for key, value in staged.entries:
+                    self.btree.insert(key, value)
+            span.set(
+                entries=len(staged.entries),
+                labels=len(staged.labels),
+                cache_hits=staged.stats.cache_hits,
+            )
+        self._incremental_stats.merge(staged.stats)
         self.report.btree_bytes = self.btree.size_bytes()
-        self.generation += 1
-        self._publish_build_metrics()
+        self._publish_incremental_metrics()
 
     def _require_unclustered(self) -> None:
         from repro.errors import StorageError
@@ -611,36 +707,87 @@ class FixIndex:
         """Remove a document and all of its index entries.
 
         The document's entries are regenerated (deterministically — same
-        encoder, same memoized classes) to find their keys, then deleted
-        pairwise from the B-tree.  Returns the number of entries removed.
+        encoder, and through the content-addressed feature cache, so the
+        eigensolves staging paid are cache hits here) to find their
+        keys, then deleted pairwise from the B-tree under the exclusive
+        epoch window.  Returns the number of entries removed.
         """
         self._require_unclustered()
+        staged = self.stage_removal(doc_id)
+        return self.apply_staged_removal(staged)
+
+    def stage_removal(self, doc_id: int) -> StagedMutation:
+        """Regenerate a stored document's entry delta for deletion —
+        like :meth:`stage_document`, outside the write latch."""
+        self._require_unclustered()
+        started = time.perf_counter()
         document = self.store.get_document(doc_id)
-        # A throwaway generator (sharing the encoder, so keys come out
-        # identical) regenerates this document's entries without
-        # polluting the build statistics.
-        shadow = EntryGenerator(
-            self.encoder,
-            self.config.depth_limit,
-            text_label=self.value_hasher,
-            max_pattern_vertices=self.config.max_pattern_vertices,
-            max_unfolding_opens=self.config.max_unfolding_opens,
-            cache=self.feature_cache,
-            solver=self.eigen_solver,
+        shadow = self._shadow_generator()
+        entries: list[tuple[bytes, bytes]] = []
+        labels: set[str] = set()
+        for entry in shadow.entries_for(document):
+            labels.add(entry.key.root_label)
+            entries.append(
+                (
+                    self._encode_key(entry.key),
+                    NodePointer(doc_id, entry.node_id).pack(),
+                )
+            )
+        return StagedMutation(
+            doc_id=doc_id,
+            entries=tuple(entries),
+            labels=frozenset(labels),
+            stats=shadow.stats,
+            seconds=time.perf_counter() - started,
         )
+
+    def apply_staged_removal(self, staged: StagedMutation) -> int:
+        """Delete a staged document delta (entries *and* the stored
+        document, atomically under the epoch window — a pinned reader
+        never sees entries whose document is gone, or vice versa)."""
         removed = 0
-        with self.obs.span("index.remove_document", doc=doc_id) as span:
-            for entry in shadow.entries_for(document):
-                key = self._encode_key(entry.key)
-                value = NodePointer(doc_id, entry.node_id).pack()
-                if self.btree.delete(key, value):
-                    removed += 1
-            span.set(removed=removed)
-        self.store.remove_document(doc_id)
+        with self.obs.span(
+            "index.remove_document", doc=staged.doc_id
+        ) as span:
+            with self.epochs.mutation(staged.labels):
+                for key, value in staged.entries:
+                    if self.btree.delete(key, value):
+                        removed += 1
+                self.store.remove_document(staged.doc_id)
+            span.set(
+                removed=removed,
+                labels=len(staged.labels),
+                cache_hits=staged.stats.cache_hits,
+            )
+        self._incremental_stats.merge(staged.stats)
+        self._documents_removed += 1
+        self._entries_removed += removed
         self.report.btree_bytes = self.btree.size_bytes()
-        self.generation += 1
-        self._publish_build_metrics()
+        self._publish_incremental_metrics()
         return removed
+
+    def _publish_incremental_metrics(self) -> None:
+        """The mutation path's registry sync: its own accumulator under
+        ``build.incremental.*`` (never the batch-build ``build.*``
+        phases, which must keep matching the Table-1 report), refreshed
+        index gauges, and the ``epoch.*`` counters."""
+        registry = self.obs.registry
+        self._incremental_stats.publish(registry, prefix="build.incremental.")
+        registry.sync_counter(
+            "build.incremental.documents_removed", self._documents_removed
+        )
+        registry.sync_counter(
+            "build.incremental.entries_removed", self._entries_removed
+        )
+        self.pager_stats().publish(registry)
+        registry.gauge("index.entries").set(self.entry_count)
+        registry.gauge("index.btree_bytes").set(self.btree.size_bytes())
+        registry.gauge("index.generation").set(self.generation)
+        if self.feature_cache is not None:
+            cache = self.feature_cache.stats_dict()
+            self.report.feature_cache_patterns = cache["patterns"]
+            registry.gauge("build.cache.patterns").set(cache["patterns"])
+        self.epochs.publish(registry)
 
     # ------------------------------------------------------------------ #
     # Coverage and query features (Algorithm 2, lines 1-5)
@@ -772,22 +919,45 @@ class FixIndex:
 
     def spatial_view(self):
         """The per-label R-tree view of this index's feature points,
-        rebuilt lazily whenever the index mutates (generation bump).
+        maintained *incrementally*: a mutation only re-bulk-loads the
+        partitions of the root labels it touched (read back through a
+        per-label B-tree range scan); untouched labels keep their trees
+        pointer-identical.  A full invalidation (rebuild) still replaces
+        the view wholesale.
 
         Returns:
             :class:`~repro.spatial.feature_index.SpatialFeatureIndex`.
         """
-        if (
-            self._spatial_view is None
-            or self._spatial_generation != self.generation
-        ):
-            # Imported here: repro.spatial.feature_index imports this
-            # module for the IndexEntry type.
-            from repro.spatial.feature_index import SpatialFeatureIndex
+        # Imported here: repro.spatial.feature_index imports this
+        # module for the IndexEntry type.
+        from repro.spatial.feature_index import SpatialFeatureIndex
 
+        snapshot = self.epochs.current
+        if self._spatial_view is None or self._spatial_snapshot is None:
             self._spatial_view = SpatialFeatureIndex(self)
-            self._spatial_generation = self.generation
+            self._spatial_snapshot = snapshot
+        elif self._spatial_snapshot.epoch != snapshot.epoch:
+            stale = snapshot.changed_labels_since(self._spatial_snapshot.epoch)
+            if stale is None:
+                self._spatial_view = SpatialFeatureIndex(self)
+                self.epochs.note_full_refresh()
+            elif stale:
+                self._spatial_view.refresh(stale)
+                self.epochs.note_scoped_refresh(len(stale))
+            self._spatial_snapshot = snapshot
         return self._spatial_view
+
+    def iter_label_entries(self, label: str) -> Iterator[IndexEntry]:
+        """Every entry carrying ``label``, in key order — the per-label
+        slice scoped refreshes (histogram slices, spatial partitions)
+        rebuild from."""
+        start = encode_feature_key(label, float("-inf"), float("-inf"))
+        for raw_key, raw_value in self.btree.scan(
+            start=start, end=label_upper_bound(label)
+        ):
+            stored_label, lmax, lmin = decode_feature_key(raw_key)
+            key = FeatureKey(stored_label, FeatureRange(lmin, lmax))
+            yield self._decode_entry(key, raw_value)
 
     # ------------------------------------------------------------------ #
     # Measurements

@@ -12,11 +12,16 @@ arithmetic).  A :class:`QueryPlan` captures that work once; a
 generation), so repeated queries pay only the pruning scan and the
 refinement.
 
-Plans are invalidated by *generation*: :meth:`FixIndex.add_document`
-and :meth:`FixIndex.remove_document` bump ``FixIndex.generation``
-(growing the encoder can re-weight edge labels, which changes feature
-keys), and a cached plan is only served while its recorded generation
-matches the index's.
+Plans are invalidated by *epoch*, scoped per root label: a plan records
+the epoch it was computed under and the root labels of its pruning
+fragments, and stays valid while no mutation has touched any of those
+labels (``EpochSnapshot.max_epoch_over(plan.labels) <= plan.generation``).
+This is sound because the encoder assigns edge-label codes in first-seen
+order and never reassigns them — a cached plan's feature keys stay
+byte-valid forever, so only entry-population changes (which a mutation
+confines to the touched root labels) matter to plan freshness.  Legacy
+callers that pass a plain ``int`` generation get the old exact-match
+behavior.
 """
 
 from __future__ import annotations
@@ -55,8 +60,12 @@ class QueryPlan:
     #: on depth-limited indexes, where subpattern entries exist for
     #: every element but only the document root can bind).
     root_filter: bool
-    #: the index generation the feature keys were computed under.
+    #: the index epoch the plan was computed under.
     generation: int
+    #: root labels of the pruning fragments' feature keys — the plan's
+    #: invalidation scope (a mutation touching none of them keeps the
+    #: plan valid).
+    labels: frozenset[str] = frozenset()
 
 
 def build_plan(index, query: TwigQuery | str) -> QueryPlan:
@@ -99,14 +108,19 @@ def build_plan(index, query: TwigQuery | str) -> QueryPlan:
         refined=refined,
         root_filter=root_filter,
         generation=index.generation,
+        labels=frozenset(key.root_label for key in keys),
     )
 
 
 class PlanCache:
     """Bounded LRU of :class:`QueryPlan`\\ s keyed by query source.
 
-    A hit requires the cached plan's generation to equal the current
-    index generation; stale plans are evicted on lookup.
+    A hit requires the cached plan to still be *valid*: under an
+    :class:`~repro.core.epoch.EpochSnapshot` (or manager) that means no
+    mutation has touched the plan's root labels since it was computed —
+    plans over untouched labels survive mutations to other labels.
+    Under a plain ``int`` generation (legacy callers), validity is the
+    old exact-match test.  Stale plans are evicted on lookup.
     """
 
     def __init__(self, capacity: int = 256) -> None:
@@ -116,22 +130,38 @@ class PlanCache:
         self._plans: "OrderedDict[str, QueryPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: hits served *across* a global-epoch change because the plan's
+        #: labels were untouched — the plans label scoping retained.
+        self.scoped_retained = 0
 
     def __len__(self) -> int:
         return len(self._plans)
 
-    def get(self, source: str, generation: int) -> QueryPlan | None:
-        """The cached plan for ``source``, if still valid."""
+    def get(self, source: str, epochs) -> QueryPlan | None:
+        """The cached plan for ``source``, if still valid under
+        ``epochs`` — an :class:`EpochSnapshot`, an
+        :class:`EpochManager`, or a legacy ``int`` generation."""
         plan = self._plans.get(source)
         if plan is None:
             self.misses += 1
             return None
-        if plan.generation != generation:
+        retained = False
+        if isinstance(epochs, int):
+            valid = plan.generation == epochs
+        else:
+            snapshot = getattr(epochs, "current", epochs)
+            valid = (
+                snapshot.max_epoch_over(plan.labels) <= plan.generation
+            )
+            retained = valid and snapshot.epoch != plan.generation
+        if not valid:
             del self._plans[source]
             self.misses += 1
             return None
         self._plans.move_to_end(source)
         self.hits += 1
+        if retained:
+            self.scoped_retained += 1
         return plan
 
     def put(self, plan: QueryPlan) -> None:
@@ -152,6 +182,7 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hits / lookups if lookups else 0.0,
+            "scoped_retained": self.scoped_retained,
         }
 
     def publish(self, registry, prefix: str = "plan_cache.") -> None:
@@ -165,6 +196,10 @@ class PlanCache:
         """
         registry.sync_counter(prefix + "hits", self.hits)
         registry.sync_counter(prefix + "misses", self.misses)
+        registry.sync_counter(prefix + "scoped_retained", self.scoped_retained)
+        # The ISSUE's epoch-layer accounting: plans kept alive across
+        # mutations by label scoping.
+        registry.sync_counter("epoch.plans_retained", self.scoped_retained)
         registry.gauge(prefix + "plans").set(len(self._plans))
 
     def clear(self) -> None:

@@ -37,7 +37,9 @@ answer identical to the scatter-gather flow (DESIGN.md §11).
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 from repro.btree import encode_feature_key
@@ -175,7 +177,28 @@ class FixQueryProcessor:
         self.metrics_log = metrics_log
         self.obs = obs if obs is not None else index.obs
         self._histogram = None
-        self._histogram_generation = -1
+        self._histogram_snapshot = None
+        #: per-thread pinned EpochSnapshot for the duration of query();
+        #: plan-cache validity and histogram freshness are judged
+        #: against it, so one query sees one consistent epoch.
+        self._pin_local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Epoch plumbing
+    # ------------------------------------------------------------------ #
+
+    def _epoch_view(self):
+        """The epoch state queries validate against: the snapshot pinned
+        by the running query when there is one, the index's live
+        snapshot otherwise, or the legacy ``int`` generation for index
+        objects without an epoch manager."""
+        pinned = getattr(self._pin_local, "snapshot", None)
+        if pinned is not None:
+            return pinned
+        epochs = getattr(self.index, "epochs", None)
+        if epochs is not None:
+            return epochs.current
+        return self.index.generation
 
     # ------------------------------------------------------------------ #
     # Planning phase
@@ -188,7 +211,7 @@ class FixQueryProcessor:
     def _plan_for(self, query: TwigQuery | str) -> tuple[QueryPlan, bool]:
         source = query if isinstance(query, str) else query.source
         if self.plan_cache is not None and source:
-            plan = self.plan_cache.get(source, self.index.generation)
+            plan = self.plan_cache.get(source, self._epoch_view())
             if plan is not None:
                 return plan, True
         plan = build_plan(self.index, query)
@@ -265,15 +288,48 @@ class FixQueryProcessor:
         return sorted(surviving.values(), key=lambda entry: entry.pointer)
 
     def _estimate_candidates(self, key: FeatureKey, anchored: bool) -> float:
+        return self._histogram_for_epoch().estimate_candidates(
+            key, anchored=anchored
+        )
+
+    def _histogram_for_epoch(self):
+        """The processor's λ_max histogram, kept fresh per epoch.
+
+        Under the epoch layer, a stale histogram is repaired by
+        recomputing only the label slices mutated since it was built
+        (``FeatureHistogram.refresh``); a full rebuild only happens on
+        first use or after a floor bump (index rebuild).
+        """
         from repro.core.stats import FeatureHistogram
 
-        if (
-            self._histogram is None
-            or self._histogram_generation != self.index.generation
-        ):
+        view = self._epoch_view()
+        if isinstance(view, int):  # legacy index without an epoch layer
+            if self._histogram is None or self._histogram_snapshot != view:
+                self._histogram = FeatureHistogram(self.index)
+                self._histogram_snapshot = view
+            return self._histogram
+        cached = self._histogram_snapshot
+        if self._histogram is None or cached is None:
             self._histogram = FeatureHistogram(self.index)
-            self._histogram_generation = self.index.generation
-        return self._histogram.estimate_candidates(key, anchored=anchored)
+            self._histogram_snapshot = view
+            return self._histogram
+        if isinstance(cached, int) or view.epoch != cached.epoch:
+            epochs = getattr(self.index, "epochs", None)
+            stale = (
+                None
+                if isinstance(cached, int)
+                else view.changed_labels_since(cached.epoch)
+            )
+            if stale is None:
+                self._histogram = FeatureHistogram(self.index)
+                if epochs is not None:
+                    epochs.note_full_refresh()
+            elif stale:
+                self._histogram.refresh(self.index, stale)
+                if epochs is not None:
+                    epochs.note_scoped_refresh(len(stale))
+            self._histogram_snapshot = view
+        return self._histogram
 
     # ------------------------------------------------------------------ #
     # Shard-local push-down
@@ -457,64 +513,79 @@ class FixQueryProcessor:
     # ------------------------------------------------------------------ #
 
     def query(self, query: TwigQuery | str) -> FixQueryResult:
-        """Run all phases and return the validated result pointers."""
+        """Run all phases and return the validated result pointers.
+
+        The whole pipeline runs under an epoch pin: the snapshot taken
+        at entry governs plan-cache validity and histogram freshness,
+        and concurrent mutations wait out the pin before applying —
+        the answer equals either the pre- or post-mutation index,
+        never a mix of the two.
+        """
         result = FixQueryResult(backend=self.prune_backend, workers=self.workers)
         source = query if isinstance(query, str) else query.source
-        with self.obs.span(
-            "query",
-            source=source,
-            backend=self.prune_backend,
-            workers=self.workers,
-        ) as query_span:
-            with self.obs.span("query.plan"):
-                started = time.perf_counter()
-                plan, cached = self._plan_for(query)
-                result.plan_seconds = time.perf_counter() - started
-            result.plan_cached = cached
-
-            order = self._pushdown_order(plan)
-            if order is not None:
-                result.pushdown = True
-                with self.obs.span(
-                    "query.pushdown", shards=len(order)
-                ) as push_span:
-                    self._query_pushdown(plan, order, result)
-                    push_span.set(
-                        candidates=result.candidate_count,
-                        survivors=result.result_count,
-                    )
-            else:
-                with self.obs.span("query.prune") as prune_span:
+        epochs = getattr(self.index, "epochs", None)
+        pin = epochs.pin() if epochs is not None else nullcontext(None)
+        try:
+            with pin as snapshot, self.obs.span(
+                "query",
+                source=source,
+                backend=self.prune_backend,
+                workers=self.workers,
+            ) as query_span:
+                self._pin_local.snapshot = snapshot
+                with self.obs.span("query.plan"):
                     started = time.perf_counter()
-                    candidates = self._pruned_candidates(plan)
-                    result.prune_seconds = time.perf_counter() - started
-                    result.candidate_count = len(candidates)
-                    prune_span.set(candidates=len(candidates))
+                    plan, cached = self._plan_for(query)
+                    result.plan_seconds = time.perf_counter() - started
+                result.plan_cached = cached
 
-                with self.obs.span("query.refine") as refine_span:
-                    started = time.perf_counter()
-                    if self.grouped or self.workers > 1:
-                        survivors, fetched = self._refine_grouped(
-                            plan.refined, candidates
+                order = self._pushdown_order(plan)
+                if order is not None:
+                    result.pushdown = True
+                    with self.obs.span(
+                        "query.pushdown", shards=len(order)
+                    ) as push_span:
+                        self._query_pushdown(plan, order, result)
+                        push_span.set(
+                            candidates=result.candidate_count,
+                            survivors=result.result_count,
                         )
-                    else:
-                        survivors = [
-                            entry.pointer
-                            for entry in candidates
-                            if self._refine_entry(plan.refined, entry)
-                        ]
-                        fetched = len(candidates)
-                    survivors.sort()
-                    result.results = survivors
-                    result.documents_fetched = fetched
-                    result.refine_seconds = time.perf_counter() - started
-                    refine_span.set(groups=fetched, survivors=len(survivors))
+                else:
+                    with self.obs.span("query.prune") as prune_span:
+                        started = time.perf_counter()
+                        candidates = self._pruned_candidates(plan)
+                        result.prune_seconds = time.perf_counter() - started
+                        result.candidate_count = len(candidates)
+                        prune_span.set(candidates=len(candidates))
 
-            query_span.set(
-                candidates=result.candidate_count,
-                results=result.result_count,
-                plan_cached=cached,
-            )
+                    with self.obs.span("query.refine") as refine_span:
+                        started = time.perf_counter()
+                        if self.grouped or self.workers > 1:
+                            survivors, fetched = self._refine_grouped(
+                                plan.refined, candidates
+                            )
+                        else:
+                            survivors = [
+                                entry.pointer
+                                for entry in candidates
+                                if self._refine_entry(plan.refined, entry)
+                            ]
+                            fetched = len(candidates)
+                        survivors.sort()
+                        result.results = survivors
+                        result.documents_fetched = fetched
+                        result.refine_seconds = time.perf_counter() - started
+                        refine_span.set(
+                            groups=fetched, survivors=len(survivors)
+                        )
+
+                query_span.set(
+                    candidates=result.candidate_count,
+                    results=result.result_count,
+                    plan_cached=cached,
+                )
+        finally:
+            self._pin_local.snapshot = None
         if self.metrics_log is not None:
             self.metrics_log.record(plan.source, result)
         self._publish_query_metrics(result)
@@ -528,6 +599,9 @@ class FixQueryProcessor:
             self.index.spatial_view().publish(registry)
         if self.plan_cache is not None:
             self.plan_cache.publish(registry)
+        epochs = getattr(self.index, "epochs", None)
+        if epochs is not None:
+            epochs.publish(registry)
         if (
             self.metrics_log is not None
             and getattr(self.metrics_log, "registry", None) is registry

@@ -66,6 +66,7 @@ import re
 from collections.abc import Iterator
 
 from repro.core.construction import seed_encoder, seed_encoder_from_source
+from repro.core.epoch import EpochManager, EpochSnapshot
 from repro.core.index import FixIndex, FixIndexConfig, IndexEntry
 from repro.core.persistence import load_index, save_index
 from repro.core.stats import FeatureHistogram
@@ -215,15 +216,25 @@ class ShardedFixIndex:
         #: doc_id -> owning shard (None = removed), the routing table.
         self.routing: list[int | None] = []
         self.clustered_store = None
-        self.generation = 0
+        #: the coordinator's epoch manager: queries pin it, and every
+        #: incremental mutation applies under it, so in-flight queries
+        #: see either the pre- or post-mutation index — never a mix.
+        #: Each shard nests its own manager (the coordinator's snapshot
+        #: vector is the tuple of shard snapshots, :meth:`epoch_vector`).
+        self.epochs = EpochManager()
         self.shards: list[FixIndex] = [
             self._new_shard(shard_id) for shard_id in range(config.shards)
         ]
         self.store = _ShardRouter(self)
         self._spatial_view: _ShardedSpatialView | None = None
-        self._histograms: list[tuple[int, FeatureHistogram] | None] = [
-            None
-        ] * config.shards
+        self._histograms: list[
+            tuple[EpochSnapshot, FeatureHistogram] | None
+        ] = [None] * config.shards
+
+    @property
+    def generation(self) -> int:
+        """The coordinator's global epoch (legacy counter surface)."""
+        return self.epochs.epoch
 
     # ------------------------------------------------------------------ #
     # Shard plumbing
@@ -387,6 +398,7 @@ class ShardedFixIndex:
                         staged = StagedBuild()
                     shard.rebuild_from_staged(staged)
                     span.set(entries=shard.entry_count)
+        self.epochs.rebuild()
         self._invalidate_views()
         self._publish_metrics()
 
@@ -437,16 +449,21 @@ class ShardedFixIndex:
         Routing hashes the serialized form — the same bytes
         :meth:`build` routes on — so incremental adds land where a
         rebuild would put them.
+
+        The expensive staging (parse, bisimulation, eigensolve) runs
+        *outside* the coordinator latch; only the store append, routing
+        update, and B-tree delta apply under ``epochs.mutation``, so
+        in-flight queries are stalled for microseconds, not eigensolves.
         """
         source = serialize_fragment(document.root)
         doc_id = len(self.routing)
         shard_id = self._route_source(source)
         shard = self.shards[shard_id]
-        shard.store.add_document_at(document, doc_id)
-        self.routing.append(shard_id)
-        shard.index_document(doc_id, document)
-        self.generation += 1
-        self._invalidate_views(shard_id)
+        staged = shard.stage_document(doc_id, document)
+        with self.epochs.mutation(staged.labels):
+            shard.store.add_document_at(document, doc_id)
+            self.routing.append(shard_id)
+            shard.apply_staged_add(staged)
         self._publish_metrics()
         return doc_id
 
@@ -454,12 +471,19 @@ class ShardedFixIndex:
         """Remove a document and its entries from its owning shard.
         Returns the number of index entries removed."""
         shard_id = self.shard_of(doc_id)
-        removed = self.shards[shard_id].remove_document(doc_id)
-        self.routing[doc_id] = None
-        self.generation += 1
-        self._invalidate_views(shard_id)
+        shard = self.shards[shard_id]
+        staged = shard.stage_removal(doc_id)
+        with self.epochs.mutation(staged.labels):
+            removed = shard.apply_staged_removal(staged)
+            self.routing[doc_id] = None
         self._publish_metrics()
         return removed
+
+    def epoch_vector(self) -> tuple[EpochSnapshot, ...]:
+        """The per-shard epoch snapshot vector as of now; under a
+        coordinator pin this vector is frozen (shard mutations only
+        happen inside the coordinator's exclusive apply window)."""
+        return tuple(shard.epochs.current for shard in self.shards)
 
     def _invalidate_views(self, shard_id: int | None = None) -> None:
         if shard_id is None:
@@ -589,18 +613,34 @@ class ShardedFixIndex:
         return [shard_id for _, shard_id in ranked]
 
     def _histogram_for(self, shard_id: int) -> FeatureHistogram:
+        """The shard's λ_max histogram, kept fresh per shard epoch:
+        only the label slices mutated since the cached snapshot are
+        recomputed; untouched labels keep their slices (and a floor
+        bump — shard rebuild — falls back to a full rebuild)."""
         shard = self.shards[shard_id]
+        snapshot = shard.epochs.current
         cached = self._histograms[shard_id]
-        if cached is not None and cached[0] == shard.generation:
+        if cached is not None and cached[0].epoch == snapshot.epoch:
             return cached[1]
         try:
-            histogram = FeatureHistogram(shard)
+            if cached is None:
+                histogram = FeatureHistogram(shard)
+            else:
+                stale = snapshot.changed_labels_since(cached[0].epoch)
+                if stale is None:
+                    histogram = FeatureHistogram(shard)
+                    shard.epochs.note_full_refresh()
+                else:
+                    histogram = cached[1]
+                    if stale:
+                        histogram.refresh(shard, stale)
+                        shard.epochs.note_scoped_refresh(len(stale))
         except (StorageError, BTreeError) as exc:
             raise ShardError(
                 f"shard {shard_id}: histogram scan failed: {exc}",
                 shard=shard_id,
             ) from exc
-        self._histograms[shard_id] = (shard.generation, histogram)
+        self._histograms[shard_id] = (snapshot, histogram)
         return histogram
 
     def pushdown_shards(
@@ -644,7 +684,8 @@ class ShardedFixIndex:
 
     def spatial_view(self) -> _ShardedSpatialView:
         """The scatter-gather R-tree facade (per-shard trees are built
-        lazily by each shard and invalidated by its own generation)."""
+        lazily by each shard and refreshed per-label under the shard's
+        own epoch manager)."""
         if self._spatial_view is None:
             self._spatial_view = _ShardedSpatialView(self)
         return self._spatial_view
@@ -668,6 +709,12 @@ class ShardedFixIndex:
         key order sort, exactly as they do for scan results)."""
         for shard in self.shards:
             yield from shard.iter_entries()
+
+    def iter_label_entries(self, label: str) -> Iterator[IndexEntry]:
+        """Every shard's surviving entries under one root label — the
+        scoped-refresh scan (histogram slices, spatial partitions)."""
+        for shard in self.shards:
+            yield from shard.iter_label_entries(label)
 
     def pager_stats(self) -> PagerStats:
         """Summed pager counters across every shard's pagers."""
@@ -710,6 +757,21 @@ class ShardedFixIndex:
         registry.gauge("shards.empty").set(len(balance["empty_shards"]))
         if math.isfinite(balance["skew"]):
             registry.gauge("shards.skew").set(balance["skew"])
+        self.epochs.publish(registry)
+        # Aggregated shard-level epoch accounting (each shard's manager
+        # is private; summing then delta-syncing keeps totals monotone).
+        registry.sync_counter(
+            "epoch.shard.mutations",
+            sum(shard.epochs.mutations for shard in self.shards),
+        )
+        registry.sync_counter(
+            "epoch.shard.invalidations.scoped",
+            sum(shard.epochs.scoped_invalidations for shard in self.shards),
+        )
+        registry.sync_counter(
+            "epoch.shard.invalidations.full",
+            sum(shard.epochs.full_invalidations for shard in self.shards),
+        )
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -815,7 +877,7 @@ class ShardedFixIndex:
         sharded.obs = Obs.from_config(config.obs)
         sharded.routing = list(manifest["routing"])
         sharded.clustered_store = None
-        sharded.generation = 0
+        sharded.epochs = EpochManager()
         sharded.shards = []
         for shard_id in range(config.shards):
             sdir = shard_directory(directory, shard_id)

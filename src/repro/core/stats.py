@@ -46,7 +46,14 @@ class _LabelHistogram:
 
 
 class FeatureHistogram:
-    """Equi-width per-label histogram over indexed λ_max values."""
+    """Equi-width per-label histogram over indexed λ_max values.
+
+    Label slices are independently refreshable: after a mutation, only
+    the touched labels' slices are recomputed from the surviving entries
+    (:meth:`refresh`), which keeps the recorded per-label endpoints both
+    *sound* and *tight* — removals shrink ``hi``, so the
+    :meth:`may_contain` skip test never degrades on churn.
+    """
 
     def __init__(self, index: FixIndex, buckets: int = 32) -> None:
         if buckets < 1:
@@ -62,18 +69,46 @@ class FeatureHistogram:
             values.setdefault(label, []).append(entry.key.range.lmax)
         self._histograms: dict[str, _LabelHistogram] = {}
         for label, lmaxes in values.items():
-            lo, hi = min(lmaxes), max(lmaxes)
-            counts = [0] * buckets
-            span = (hi - lo) or 1.0
-            for value in lmaxes:
-                bucket = min(int((value - lo) / span * buckets), buckets - 1)
-                counts[bucket] += 1
-            self._histograms[label] = _LabelHistogram(
-                lo, hi, counts, unbounded.pop(label, 0)
+            self._histograms[label] = self._slice_of(
+                lmaxes, unbounded.pop(label, 0)
             )
         for label, count in unbounded.items():
             # Labels whose every entry is unbounded.
             self._histograms[label] = _LabelHistogram(0.0, 0.0, [], count)
+
+    def _slice_of(
+        self, lmaxes: list[float], unbounded: int
+    ) -> _LabelHistogram:
+        """One label's histogram slice from its finite λ_max values."""
+        if not lmaxes:
+            return _LabelHistogram(0.0, 0.0, [], unbounded)
+        lo, hi = min(lmaxes), max(lmaxes)
+        buckets = self.buckets
+        counts = [0] * buckets
+        span = (hi - lo) or 1.0
+        for value in lmaxes:
+            bucket = min(int((value - lo) / span * buckets), buckets - 1)
+            counts[bucket] += 1
+        return _LabelHistogram(lo, hi, counts, unbounded)
+
+    def refresh(self, index: FixIndex, labels) -> None:
+        """Recompute the slices of ``labels`` from the index's surviving
+        entries (a per-label B-tree range scan each) — the scoped
+        alternative to a full rebuild after a mutation.  A label with no
+        remaining entries loses its slice entirely, so ``may_contain``
+        goes back to proving its scans empty."""
+        for label in labels:
+            lmaxes: list[float] = []
+            unbounded = 0
+            for entry in index.iter_label_entries(label):
+                if entry.key.range.is_all_covering():
+                    unbounded += 1
+                else:
+                    lmaxes.append(entry.key.range.lmax)
+            if not lmaxes and not unbounded:
+                self._histograms.pop(label, None)
+            else:
+                self._histograms[label] = self._slice_of(lmaxes, unbounded)
 
     def estimate_candidates(
         self, query_key: FeatureKey, anchored: bool = True

@@ -7,6 +7,14 @@ Section 3.4 containment predicate exactly, with the same guard band);
 what differs is the amount of work: the B-tree must scan the whole
 ``λ_max >= query`` suffix and reject entries on λ_min one by one, while
 the R-tree prunes on both coordinates while descending.
+
+The view is maintained *incrementally* under the epoch layer: a
+mutation touching root labels ``L`` leaves every other label's tree —
+and its pointer identity — intact; only the trees for ``L`` are
+re-bulk-loaded from the surviving entries (:meth:`refresh`).  Pointer
+identity matters because pinned readers iterate tree nodes directly:
+an untouched label's partition is byte-for-byte the one their snapshot
+was pinned on.
 """
 
 from __future__ import annotations
@@ -25,8 +33,14 @@ class SpatialFeatureIndex:
     def __init__(self, index: FixIndex, max_entries: int = 16) -> None:
         self._index = index
         self._guard = index.config.guard_band
-        grouped: dict[str, list[tuple[Rect, IndexEntry]]] = {}
+        self._max_entries = max_entries
+        self._trees: dict[str, RTree] = {}
         self._all_covering: dict[str, list[IndexEntry]] = {}
+        # Work done by trees that were since replaced by refresh(); keeps
+        # entries_inspected()/nodes_visited() monotone across mutations.
+        self._retired_inspected = 0
+        self._retired_visited = 0
+        grouped: dict[str, list[tuple[Rect, IndexEntry]]] = {}
         for entry in index.iter_entries():
             label = entry.key.root_label
             if entry.key.range.is_all_covering():
@@ -37,10 +51,42 @@ class SpatialFeatureIndex:
                 continue
             point = Rect.point(entry.key.range.lmin, entry.key.range.lmax)
             grouped.setdefault(label, []).append((point, entry))
-        self._trees: dict[str, RTree] = {
-            label: RTree.bulk_load(entries, max_entries=max_entries)
-            for label, entries in grouped.items()
-        }
+        for label, entries in grouped.items():
+            self._trees[label] = RTree.bulk_load(
+                entries, max_entries=max_entries
+            )
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance
+    # ------------------------------------------------------------------ #
+
+    def refresh(self, labels) -> None:
+        """Rebuild only the partitions of ``labels`` from the index's
+        surviving entries; every other label's tree keeps its pointer
+        identity.  A label with no remaining entries loses its tree (and
+        its all-covering list) entirely."""
+        for label in labels:
+            old = self._trees.pop(label, None)
+            if old is not None:
+                self._retired_inspected += old.entries_inspected
+                self._retired_visited += old.nodes_visited
+            self._all_covering.pop(label, None)
+            points: list[tuple[Rect, IndexEntry]] = []
+            covering: list[IndexEntry] = []
+            for entry in self._index.iter_label_entries(label):
+                if entry.key.range.is_all_covering():
+                    covering.append(entry)
+                    continue
+                point = Rect.point(
+                    entry.key.range.lmin, entry.key.range.lmax
+                )
+                points.append((point, entry))
+            if points:
+                self._trees[label] = RTree.bulk_load(
+                    points, max_entries=self._max_entries
+                )
+            if covering:
+                self._all_covering[label] = covering
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -82,12 +128,18 @@ class SpatialFeatureIndex:
     # ------------------------------------------------------------------ #
 
     def entries_inspected(self) -> int:
-        """Total leaf entries looked at across all queries so far."""
-        return sum(tree.entries_inspected for tree in self._trees.values())
+        """Total leaf entries looked at across all queries so far
+        (including work by trees since retired by :meth:`refresh`)."""
+        return self._retired_inspected + sum(
+            tree.entries_inspected for tree in self._trees.values()
+        )
 
     def nodes_visited(self) -> int:
-        """Total tree nodes visited across all queries so far."""
-        return sum(tree.nodes_visited for tree in self._trees.values())
+        """Total tree nodes visited across all queries so far
+        (including work by trees since retired by :meth:`refresh`)."""
+        return self._retired_visited + sum(
+            tree.nodes_visited for tree in self._trees.values()
+        )
 
     def publish(self, registry, prefix: str = "rtree.") -> None:
         """Sync the work counters into a ``repro.obs`` registry.
@@ -103,6 +155,8 @@ class SpatialFeatureIndex:
 
     def reset_stats(self) -> None:
         """Zero all work counters."""
+        self._retired_inspected = 0
+        self._retired_visited = 0
         for tree in self._trees.values():
             tree.reset_stats()
 
