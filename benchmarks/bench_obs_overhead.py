@@ -14,7 +14,18 @@ cached :data:`repro.obs.NOOP_SPAN` singleton's no-op ``__enter__`` /
 * **no-op microbenchmark** — time the disabled ``tracer.span()`` call
   directly, then bound disabled-mode overhead as
   ``span sites x ns-per-site / build seconds``, which must stay under
-  the 2 % budget (the number CI asserts).
+  the 2 % budget (the number CI asserts);
+* **sketch microbenchmark** — ns per ``QuantileSketch.observe`` (the
+  always-on cost each query now pays four times) and per chunked
+  ``merge``;
+* **sketch accuracy** — the query batch's latencies recorded exactly
+  alongside the ``query.seconds`` sketch, reporting the *measured* max
+  rank error across p50/p90/p95/p99 and asserting it stays within the
+  sketch's self-reported ``rank_error_bound()``;
+* **ticker overhead** — the same query batch with the
+  :class:`~repro.obs.resources.ResourceSampler` ticking at an
+  aggressive 50 ms (100x the default rate), which must also stay
+  within the budget.
 
 Standalone runner (not a pytest-benchmark module)::
 
@@ -29,12 +40,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
 
 from repro.core import FixIndex, FixIndexConfig, FixQueryProcessor
-from repro.obs import ObsConfig, Tracer
+from repro.obs import ObsConfig, QuantileSketch, ResourceSampler, Tracer
 
 try:  # script-style sibling import; package-style under pytest
     from bench_build_pipeline import btree_digest, build_corpus
@@ -67,14 +79,36 @@ def time_build(store, depth_limit: int, trace: bool, repeats: int):
     return best, index
 
 
-def time_queries(index: FixIndex, count: int):
-    """Total wall time of a ``count``-query batch, plus the answers."""
+def time_queries(
+    index: FixIndex, count: int, ticker: bool = False, repeats: int = 1
+):
+    """Best-of-N wall time of a ``count``-query batch, plus the answers
+    and the exact per-query latencies of *every* batch — the registry's
+    ``query.seconds`` sketch sees them all, so the accuracy check needs
+    them all.  ``ticker=True`` runs the batches under an aggressive
+    50 ms resource sampler."""
     processor = FixQueryProcessor(index)
-    answers = []
-    started = time.perf_counter()
-    for i in range(count):
-        answers.append(processor.query(QUERIES[i % len(QUERIES)]).results)
-    return time.perf_counter() - started, answers
+    sampler = (
+        ResourceSampler(index.obs.registry, index=index, interval=0.05)
+        if ticker
+        else None
+    )
+    if sampler is not None:
+        sampler.start()
+    best = float("inf")
+    answers: list = []
+    latencies: list = []
+    for _ in range(max(1, repeats)):
+        answers = []
+        started = time.perf_counter()
+        for i in range(count):
+            result = processor.query(QUERIES[i % len(QUERIES)])
+            answers.append(result.results)
+            latencies.append(result.seconds)
+        best = min(best, time.perf_counter() - started)
+    if sampler is not None:
+        sampler.stop()
+    return best, answers, latencies
 
 
 def noop_span_ns(iterations: int = 200_000) -> float:
@@ -90,6 +124,63 @@ def noop_span_ns(iterations: int = 200_000) -> float:
 
 def overhead_pct(enabled: float, disabled: float) -> float:
     return (enabled - disabled) / disabled * 100.0 if disabled else 0.0
+
+
+def sketch_observe_ns(observations: int = 100_000) -> float:
+    """Nanoseconds per ``QuantileSketch.observe`` at the default k,
+    over a stream long enough to exercise multi-level compaction."""
+    sketch = QuantileSketch("bench")
+    values = [((i * 2654435761) % 1_000_003) / 1e6 for i in range(observations)]
+    started = time.perf_counter_ns()
+    observe = sketch.observe
+    for v in values:
+        observe(v)
+    return (time.perf_counter_ns() - started) / observations
+
+
+def sketch_merge_us(chunks: int = 32, per_chunk: int = 400) -> float:
+    """Microseconds per chunk ``merge`` — the worker-absorb unit."""
+    parts = []
+    for c in range(chunks):
+        part = QuantileSketch("bench")
+        for i in range(per_chunk):
+            part.observe(((c * per_chunk + i) * 48271) % 99991 / 1e3)
+        parts.append(part.as_dict())
+    merged = QuantileSketch("bench")
+    started = time.perf_counter_ns()
+    for state in parts:
+        merged.merge(state)
+    return (time.perf_counter_ns() - started) / chunks / 1e3
+
+
+def sketch_accuracy(exact_latencies: list[float], sketch) -> dict:
+    """Measured max rank error of the sketch's p50/p90/p95/p99 against
+    the exact latency list, plus the sketch's own claimed bound."""
+    ordered = sorted(exact_latencies)
+    n = len(ordered)
+    qs = (0.5, 0.9, 0.95, 0.99)
+    estimates = sketch.quantiles(qs)
+    max_rank_error = 0.0
+    per_quantile = {}
+    for q, got in zip(qs, estimates):
+        lo = 1 + sum(1 for v in ordered if v < got)
+        hi = max(lo, sum(1 for v in ordered if v <= got))
+        target = q * n
+        error = max(0.0, lo - target, target - hi) / n
+        max_rank_error = max(max_rank_error, error)
+        per_quantile[f"p{int(q * 100)}"] = {
+            "estimate_s": got,
+            "exact_s": ordered[max(0, math.ceil(target) - 1)],
+            "rank_error": error,
+        }
+    bound = sketch.rank_error_bound()
+    return {
+        "count": n,
+        "max_rank_error": max_rank_error,
+        "claimed_bound": bound,
+        "within_bound": max_rank_error <= bound + 1.0 / n,
+        "per_quantile": per_quantile,
+    }
 
 
 def run_benchmark(
@@ -114,14 +205,56 @@ def run_benchmark(
     identical = btree_digest(plain) == btree_digest(traced)
     print(f"B-tree contents identical with tracing on: {identical}")
 
-    query_disabled_s, plain_answers = time_queries(plain, queries)
-    query_enabled_s, traced_answers = time_queries(traced, queries)
+    query_disabled_s, plain_answers, exact_latencies = time_queries(
+        plain, queries, repeats=repeats
+    )
+    query_enabled_s, traced_answers, _ = time_queries(
+        traced, queries, repeats=repeats
+    )
     answers_match = plain_answers == traced_answers
     query_overhead = overhead_pct(query_enabled_s, query_disabled_s)
     print(
         f"query x{queries}: disabled {query_disabled_s:.3f}s, "
         f"enabled {query_enabled_s:.3f}s ({query_overhead:+.1f}%), "
         f"answers match: {answers_match}"
+    )
+
+    # The disabled-mode batch still feeds the always-on sketches; its
+    # query.seconds sketch vs the exact latency list is the accuracy
+    # measurement (same process, same queries, zero extra work).
+    accuracy = sketch_accuracy(
+        exact_latencies, plain.obs.registry.sketch("query.seconds")
+    )
+    print(
+        f"sketch accuracy over {accuracy['count']} queries: max rank "
+        f"error {accuracy['max_rank_error']:.4f} "
+        f"(claimed bound {accuracy['claimed_bound']:.4f}, "
+        f"within: {accuracy['within_bound']})"
+    )
+
+    ticker_s, ticker_answers, _ = time_queries(
+        plain, queries, ticker=True, repeats=repeats
+    )
+    ticker_overhead = overhead_pct(ticker_s, query_disabled_s)
+    ticker_match = ticker_answers == plain_answers
+    print(
+        f"query x{queries} + 50ms resource ticker: {ticker_s:.3f}s "
+        f"({ticker_overhead:+.1f}%), answers match: {ticker_match}"
+    )
+
+    observe_ns = sketch_observe_ns()
+    merge_us = sketch_merge_us()
+    # Each query observes 4 sketch series; that cost as a share of the
+    # measured batch is the sketches' own always-on overhead.
+    sketch_overhead = (
+        4 * queries * observe_ns / (query_disabled_s * 1e9) * 100.0
+        if query_disabled_s
+        else 0.0
+    )
+    print(
+        f"sketch: {observe_ns:.0f}ns/observe, {merge_us:.1f}us/chunk-merge "
+        f"-> always-on query overhead {sketch_overhead:.3f}% "
+        f"(budget {BUDGET_PCT}%)"
     )
 
     ns_per_site = noop_span_ns()
@@ -159,12 +292,26 @@ def run_benchmark(
             "overhead_pct": query_overhead,
             "answers_match": answers_match,
         },
+        "ticker": {
+            "interval_seconds": 0.05,
+            "seconds": ticker_s,
+            "overhead_pct": ticker_overhead,
+            "answers_match": ticker_match,
+        },
+        "sketch": {
+            "observe_ns": observe_ns,
+            "chunk_merge_us": merge_us,
+            "always_on_query_overhead_pct": sketch_overhead,
+            "accuracy": accuracy,
+        },
         "noop_span": {
             "ns_per_site": ns_per_site,
             "disabled_overhead_pct": disabled_overhead,
         },
         "budget_pct": BUDGET_PCT,
-        "within_budget": disabled_overhead < BUDGET_PCT,
+        "within_budget": (
+            disabled_overhead < BUDGET_PCT and sketch_overhead < BUDGET_PCT
+        ),
     }
 
 
@@ -178,7 +325,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--chains", type=int, default=None)
     parser.add_argument("--depth", type=int, default=None)
     parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument(
+        "--queries", type=int, default=200,
+        help="batch size (200 x 3 repeats = 600 observations pushes "
+        "the query.seconds sketch past k=512, so the accuracy check "
+        "exercises real compaction, not the lossless regime)",
+    )
     parser.add_argument(
         "--repeats", type=int, default=None,
         help="build repetitions per mode (best-of)",
@@ -213,6 +365,17 @@ def main(argv: list[str] | None = None) -> int:
         failed = True
     if not report["query"]["answers_match"]:
         print("FAIL: tracing perturbed the query answers")
+        failed = True
+    if not report["ticker"]["answers_match"]:
+        print("FAIL: the resource ticker perturbed the query answers")
+        failed = True
+    if not report["sketch"]["accuracy"]["within_bound"]:
+        print(
+            "FAIL: measured sketch rank error "
+            f"{report['sketch']['accuracy']['max_rank_error']:.4f} exceeds "
+            f"the claimed bound "
+            f"{report['sketch']['accuracy']['claimed_bound']:.4f}"
+        )
         failed = True
     if not report["within_budget"]:
         print(

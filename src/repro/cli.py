@@ -13,7 +13,12 @@ Commands:
 * ``datasets`` — list the built-in synthetic data sets.
 * ``bench``  — regenerate one of the paper's tables/figures.
 * ``trace``  — aggregate a JSONL trace (``--trace`` on build/query)
-  into the per-phase / per-query breakdown.
+  into the per-phase / per-query breakdown (``--slow`` lists captured
+  slow-query exemplars).
+* ``metrics`` — render the metrics of a trace file or a saved index as
+  Prometheus text or JSON (DESIGN.md §13).
+* ``top``    — live terminal dashboard tailing a trace file
+  (``--once`` renders a single plain frame, for CI and saved traces).
 
 Examples::
 
@@ -22,6 +27,8 @@ Examples::
     python -m repro query /tmp/idx "//item[name]/mailbox" \\
         --trace /tmp/idx/trace.jsonl
     python -m repro trace /tmp/idx/trace.jsonl
+    python -m repro metrics /tmp/idx/trace.jsonl --format prometheus
+    python -m repro top /tmp/idx/trace.jsonl --once
     python -m repro stats /tmp/idx
     python -m repro bench table2 --scale 0.3
 """
@@ -176,6 +183,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "can hold a candidate and merge only verified matches (answers "
         "identical to the scatter-gather path)",
     )
+    query.add_argument(
+        "--slow-log", metavar="PATH", default=None,
+        help="capture slow-query exemplars to a bounded JSONL ring at "
+        "PATH (threshold p99-derived unless --slow-threshold-ms)",
+    )
+    query.add_argument(
+        "--slow-threshold-ms", type=float, default=None, metavar="MS",
+        help="fixed slow-query threshold in milliseconds (enables "
+        "capture even without --slow-log; exemplars then ride the "
+        "trace only)",
+    )
 
     add = commands.add_parser(
         "add", help="add documents to a saved index incrementally"
@@ -208,6 +226,45 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--json", action="store_true", help="emit the breakdown as JSON"
+    )
+    trace.add_argument(
+        "--slow", action="store_true",
+        help="list captured slow-query exemplars instead of the "
+        "aggregate breakdown (reads trace files and slow-log rings)",
+    )
+    trace.add_argument(
+        "--strict", action="store_true",
+        help="fail on malformed trace lines instead of skipping them",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="render metrics as Prometheus text or JSON"
+    )
+    metrics.add_argument(
+        "source", metavar="SOURCE",
+        help="a JSONL trace file, or a saved index directory",
+    )
+    metrics.add_argument(
+        "--format", dest="format", choices=["prometheus", "json"],
+        default="prometheus", help="exposition format (default prometheus)",
+    )
+
+    top = commands.add_parser(
+        "top", help="live terminal dashboard over a JSONL trace file"
+    )
+    top.add_argument("trace_file", metavar="TRACE")
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one plain frame and exit (CI / saved traces; "
+        "'now' is the newest event timestamp in the file)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="refresh period in seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--window", type=float, default=60.0, metavar="S",
+        help="rolling-statistics window in seconds (default 60)",
     )
 
     verify = commands.add_parser("verify", help="consistency-check a saved index")
@@ -356,6 +413,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     obs = Obs(trace=bool(args.trace))
     log = QueryMetricsLog(registry=obs.registry)
+    slow_log = None
+    if args.slow_log or args.slow_threshold_ms is not None:
+        from repro.obs import SlowQueryLog
+
+        slow_log = SlowQueryLog(
+            path=args.slow_log,
+            threshold=(
+                args.slow_threshold_ms / 1000.0
+                if args.slow_threshold_ms is not None
+                else None
+            ),
+        )
     processor = FixQueryProcessor(
         index,
         workers=args.workers,
@@ -363,6 +432,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         prune_backend=args.prune_backend,
         pushdown=args.pushdown,
         metrics_log=log,
+        slow_log=slow_log,
         obs=obs,
     )
     twig = twig_of(args.expression)
@@ -397,6 +467,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(
             f"sel={metrics.sel:.2%} pp={metrics.pp:.2%} fpr={metrics.fpr:.2%} "
             f"false_negatives={metrics.false_negatives}"
+        )
+    if slow_log is not None:
+        where = f" -> {slow_log.path}" if slow_log.path else ""
+        print(
+            f"slow log: {slow_log.captured}/{slow_log.considered} "
+            f"captured{where}"
         )
     if args.trace:
         written = obs.flush(args.trace, append=True)
@@ -506,7 +582,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"  spectral cache: {cache['patterns']} patterns, "
             f"{cache['hits']}/{lookups} hits ({cache['hit_rate']:.1%})"
         )
-    counters = index.obs.registry.snapshot()["counters"]
+    index.epochs.publish(index.obs.registry)
+    snapshot = index.obs.registry.snapshot()
+    counters = snapshot["counters"]
     plan_hits = counters.get("query.plan_cache.hits", 0.0)
     plan_lookups = plan_hits + counters.get("query.plan_cache.misses", 0.0)
     print(
@@ -514,6 +592,23 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"({plan_hits / plan_lookups if plan_lookups else 0.0:.1%} "
         "this process)"
     )
+    print(
+        f"  epochs:         current {snapshot['gauges'].get('epoch.current', 0):.0f}, "
+        f"{counters.get('epoch.pins', 0):.0f} pins, "
+        f"{counters.get('epoch.mutations', 0):.0f} mutations, "
+        f"invalidations {counters.get('epoch.invalidations.scoped', 0):.0f} "
+        f"scoped / {counters.get('epoch.invalidations.full', 0):.0f} full"
+    )
+    registry = index.obs.registry
+    for name in registry.sketch_names():
+        sketch = registry.sketch(name)
+        if not sketch.count:
+            continue
+        p50, p99 = sketch.quantiles((0.5, 0.99))
+        print(
+            f"  {name:14s}: p50 {p50 * 1e3:.2f}ms  p99 {p99 * 1e3:.2f}ms "
+            f"(n={sketch.count}, ±{sketch.rank_error_bound():.3f} rank)"
+        )
     labels: dict[str, int] = {}
     for entry in index.iter_entries():
         labels[entry.key.root_label] = labels.get(entry.key.root_label, 0) + 1
@@ -527,18 +622,72 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.report import format_trace_report, summarize_trace_file
+    from repro.obs.report import (
+        format_slow_queries,
+        format_trace_report,
+        summarize_trace_file,
+    )
 
     try:
-        summary = summarize_trace_file(args.trace_file)
+        summary = summarize_trace_file(args.trace_file, strict=args.strict)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    if args.json:
+    if args.slow:
+        if args.json:
+            print(json.dumps(summary.slow_queries, indent=2, sort_keys=True))
+        else:
+            print(format_slow_queries(summary, top=args.top))
+    elif args.json:
         print(json.dumps(summary.as_dict(args.top), indent=2, sort_keys=True))
     else:
         print(format_trace_report(summary, top=args.top))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.expo import (
+        render_json,
+        render_prometheus,
+        snapshot_from_trace,
+    )
+
+    if os.path.isdir(args.source):
+        # A saved index: open it, take one resource sample so the
+        # process/pager/epoch gauges are fresh, and render its registry.
+        from repro.obs import ResourceSampler
+
+        _, index = _open(args.source)
+        ResourceSampler(index.obs.registry, index=index).sample_once()
+        snapshot = index.obs.registry.snapshot()
+    else:
+        try:
+            snapshot = snapshot_from_trace(args.source)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    text = (
+        render_prometheus(snapshot)
+        if args.format == "prometheus"
+        else render_json(snapshot) + "\n"
+    )
+    sys.stdout.write(text)
+    sys.stdout.flush()
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    if not os.path.exists(args.trace_file):
+        print(f"error: no such trace file: {args.trace_file}", file=sys.stderr)
+        return 1
+    return run_top(
+        args.trace_file,
+        once=args.once,
+        interval=args.interval,
+        window_seconds=args.window,
+    )
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -615,6 +764,8 @@ def main(argv: list[str] | None = None) -> int:
         "remove": _cmd_remove,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
+        "top": _cmd_top,
         "verify": _cmd_verify,
         "datasets": _cmd_datasets,
         "bench": _cmd_bench,
@@ -624,6 +775,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # A downstream reader hanging up (`repro trace | head`) is a
+        # normal end, not an error; detach stdout so the interpreter's
+        # shutdown flush doesn't trip over the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -139,6 +139,18 @@ class EpochManager:
         """The current global epoch."""
         return self._snapshot.epoch
 
+    @property
+    def pinned_readers(self) -> int:
+        """Readers currently holding a pin (a point-in-time gauge the
+        resource sampler exports as ``epoch.readers_pinned``)."""
+        return self._readers
+
+    @property
+    def writers_waiting(self) -> int:
+        """Writers queued for (or holding) the apply window —
+        ``epoch.writers_waiting``, the mutation queue depth."""
+        return self._writers_waiting + (1 if self._applying else 0)
+
     # ------------------------------------------------------------------ #
     # Reader side
     # ------------------------------------------------------------------ #

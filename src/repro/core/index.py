@@ -432,6 +432,7 @@ class FixIndex:
         started = time.perf_counter()
         self._generator.stats.merge(staged.stats)
         self._generator.timings.merge(staged.timings)
+        self.obs.registry.merge_sketch_states(staged.sketches)
         insert_started = time.perf_counter()
         with self.obs.span("build.insert", entries=len(staged.entries)):
             self._load_unclustered(staged.entries)
@@ -523,12 +524,18 @@ class FixIndex:
             self.obs.tracer.absorb(
                 staged.trace_events, parent_id=self.obs.tracer.current_id
             )
+            # Per-doc build sketches, pre-merged in chunk order by
+            # parallel_stage — for short streams byte-identical to what
+            # the serial loop below would have observed.
+            self.obs.registry.merge_sketch_states(staged.sketches)
             return staged.entries
 
         staged: list[tuple[bytes, int, int]] = []
         unfold_before = timings.unfold
         matrix_before = timings.matrix
         eigen_before = timings.eigen
+        doc_seconds = self.obs.registry.sketch("build.doc_seconds")
+        doc_entries = self.obs.registry.sketch("build.doc_entries")
         generate_seconds = 0.0
         for doc_id in doc_ids:
             started = time.perf_counter()
@@ -542,7 +549,10 @@ class FixIndex:
                         (self._encode_key(entry.key), doc_id, entry.node_id)
                     )
                 span.set(entries=len(staged) - entries_before)
-            generate_seconds += time.perf_counter() - started
+            doc_elapsed = time.perf_counter() - started
+            generate_seconds += doc_elapsed
+            doc_seconds.observe(doc_elapsed)
+            doc_entries.observe(float(len(staged) - entries_before))
         timings.bisim += max(
             0.0,
             generate_seconds
@@ -682,14 +692,17 @@ class FixIndex:
         with self.obs.span(
             "index.add_document", doc=staged.doc_id
         ) as span:
+            apply_started = time.perf_counter()
             with self.epochs.mutation(staged.labels):
                 for key, value in staged.entries:
                     self.btree.insert(key, value)
+            apply_seconds = time.perf_counter() - apply_started
             span.set(
                 entries=len(staged.entries),
                 labels=len(staged.labels),
                 cache_hits=staged.stats.cache_hits,
             )
+        self._observe_mutation_latency(staged.seconds, apply_seconds)
         self._incremental_stats.merge(staged.stats)
         self.report.btree_bytes = self.btree.size_bytes()
         self._publish_incremental_metrics()
@@ -749,22 +762,36 @@ class FixIndex:
         with self.obs.span(
             "index.remove_document", doc=staged.doc_id
         ) as span:
+            apply_started = time.perf_counter()
             with self.epochs.mutation(staged.labels):
                 for key, value in staged.entries:
                     if self.btree.delete(key, value):
                         removed += 1
                 self.store.remove_document(staged.doc_id)
+            apply_seconds = time.perf_counter() - apply_started
             span.set(
                 removed=removed,
                 labels=len(staged.labels),
                 cache_hits=staged.stats.cache_hits,
             )
+        self._observe_mutation_latency(staged.seconds, apply_seconds)
         self._incremental_stats.merge(staged.stats)
         self._documents_removed += 1
         self._entries_removed += removed
         self.report.btree_bytes = self.btree.size_bytes()
         self._publish_incremental_metrics()
         return removed
+
+    def _observe_mutation_latency(
+        self, stage_seconds: float, apply_seconds: float
+    ) -> None:
+        """One mutation's stage/apply split into the latency sketches
+        (DESIGN.md §13): staging runs outside the latch (the expensive
+        eigensolve half), apply is the exclusive epoch window whose
+        duration bounds how long it can stall new reader pins."""
+        registry = self.obs.registry
+        registry.sketch("mutation.stage_seconds").observe(stage_seconds)
+        registry.sketch("mutation.apply_seconds").observe(apply_seconds)
 
     def _publish_incremental_metrics(self) -> None:
         """The mutation path's registry sync: its own accumulator under

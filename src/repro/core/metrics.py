@@ -207,6 +207,13 @@ def publish_query_metrics(registry: MetricsRegistry, result) -> None:
     registry.counter("query.phase_seconds.refine").inc(result.refine_seconds)
     registry.histogram("query.seconds").observe(result.seconds)
     registry.histogram("query.refine_seconds").observe(result.refine_seconds)
+    # The quantile sketches behind p50/p95/p99 reporting (DESIGN.md
+    # §13): total latency plus the per-phase split, one observation per
+    # query.
+    registry.sketch("query.seconds").observe(result.seconds)
+    registry.sketch("query.plan_seconds").observe(result.plan_seconds)
+    registry.sketch("query.prune_seconds").observe(result.prune_seconds)
+    registry.sketch("query.refine_seconds").observe(result.refine_seconds)
     registry.gauge("query.workers").set(result.workers)
 
 

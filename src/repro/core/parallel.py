@@ -79,6 +79,13 @@ class StagedBuild:
     #: coordinator asked for tracing), concatenated in chunk order so
     #: the merged trace is deterministic for any worker count.
     trace_events: list[dict] = field(default_factory=list)
+    #: the worker's quantile-sketch states (``build.doc_seconds``,
+    #: ``build.doc_entries``), shipped whole and merged by the
+    #: coordinator in chunk order.  A worker's stream is a pure
+    #: arrival-order log below the sketch capacity, so the chunk-order
+    #: merge replays the serial observation order exactly (see
+    #: :class:`~repro.obs.sketch.QuantileSketch`).
+    sketches: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,6 +134,8 @@ def _stage_documents(task, documents, proc: str) -> StagedBuild:
         obs=obs,
     )
     entries: list[StagedEntry] = []
+    doc_seconds = obs.registry.sketch("build.doc_seconds")
+    doc_entries = obs.registry.sketch("build.doc_entries")
     generate_seconds = 0.0
     for doc_id, source in documents:
         started = time.perf_counter()
@@ -148,7 +157,10 @@ def _stage_documents(task, documents, proc: str) -> StagedBuild:
                     )
                 )
             span.set(entries=len(entries) - entries_before)
-        generate_seconds += time.perf_counter() - started
+        doc_elapsed = time.perf_counter() - started
+        generate_seconds += doc_elapsed
+        doc_seconds.observe(doc_elapsed)
+        doc_entries.observe(float(len(entries) - entries_before))
     generator.timings.bisim += max(
         0.0,
         generate_seconds
@@ -164,6 +176,7 @@ def _stage_documents(task, documents, proc: str) -> StagedBuild:
         generator.timings,
         generator.encoder.to_dict(),
         trace_events=obs.tracer.events,
+        sketches=obs.registry.snapshot()["sketches"],
     )
 
 
@@ -231,13 +244,21 @@ def parallel_stage(
 
     merged = StagedBuild()
     merged.timings.parse += serialize_seconds
+    from repro.obs import MetricsRegistry
+
+    sketch_registry = MetricsRegistry()
     for result in results:
         merged.entries.extend(result.entries)
         merged.stats.merge(result.stats)
         merged.timings.merge(result.timings)
         merged.trace_events.extend(result.trace_events)
+        # Chunk order — the same order the entries concatenate in — is
+        # what makes the merged sketch state deterministic (and, for
+        # short worker streams, identical to the serial build's).
+        sketch_registry.merge_sketch_states(result.sketches)
         if result.encoder_state is not None:
             encoder.merge(EdgeLabelEncoder.from_dict(result.encoder_state))
+    merged.sketches = sketch_registry.snapshot()["sketches"]
     return merged
 
 

@@ -137,6 +137,15 @@ class FixQueryProcessor:
         metrics_log: optional sink with a ``record(source, result)``
             method (see :class:`~repro.core.metrics.QueryMetricsLog`);
             every :meth:`query` call is reported to it.
+        slow_log: optional :class:`~repro.obs.slowlog.SlowQueryLog`.
+            Queries whose total latency crosses its threshold (fixed,
+            or derived from this processor's ``query.seconds`` sketch)
+            are captured as full exemplars: the span subtree traced for
+            exactly that query (when tracing is on), the per-phase
+            split, and the epoch (vector) the query pinned.  Captured
+            exemplars also land in the trace buffer as
+            ``{"type": "slow_query"}`` events, so flushed artifacts
+            carry them and ``repro trace --slow`` finds them.
         obs: tracing/metrics context (:class:`repro.obs.Obs`).
             Defaults to the index's own, so build and query metrics
             land in one registry and query spans join the index's
@@ -157,6 +166,7 @@ class FixQueryProcessor:
         prune_backend: str | None = None,
         pushdown: bool = False,
         metrics_log=None,
+        slow_log=None,
         obs: Obs | None = None,
     ) -> None:
         self.index = index
@@ -176,6 +186,11 @@ class FixQueryProcessor:
             self.plan_cache = PlanCache() if plan_cache else None
         self.metrics_log = metrics_log
         self.obs = obs if obs is not None else index.obs
+        self.slow_log = slow_log
+        if slow_log is not None and slow_log.registry is None:
+            # Derived thresholds read this processor's query.seconds
+            # sketch unless the caller attached their own registry.
+            slow_log.registry = self.obs.registry
         self._histogram = None
         self._histogram_snapshot = None
         #: per-thread pinned EpochSnapshot for the duration of query();
@@ -525,6 +540,11 @@ class FixQueryProcessor:
         source = query if isinstance(query, str) else query.source
         epochs = getattr(self.index, "epochs", None)
         pin = epochs.pin() if epochs is not None else nullcontext(None)
+        tracer = self.obs.tracer
+        # Everything the tracer buffers from here on belongs to this
+        # query — the slice a slow-query exemplar captures.
+        events_start = len(tracer.events) if tracer.enabled else 0
+        epoch_info: dict = {}
         try:
             with pin as snapshot, self.obs.span(
                 "query",
@@ -533,6 +553,15 @@ class FixQueryProcessor:
                 workers=self.workers,
             ) as query_span:
                 self._pin_local.snapshot = snapshot
+                if snapshot is not None:
+                    epoch_info["epoch"] = snapshot.epoch
+                vector_fn = getattr(self.index, "epoch_vector", None)
+                if callable(vector_fn):
+                    # Per-shard global epochs, JSON-friendly — enough to
+                    # re-pin the same sharded state later.
+                    epoch_info["vector"] = [
+                        shard_snap.epoch for shard_snap in vector_fn()
+                    ]
                 with self.obs.span("query.plan"):
                     started = time.perf_counter()
                     plan, cached = self._plan_for(query)
@@ -589,6 +618,15 @@ class FixQueryProcessor:
         if self.metrics_log is not None:
             self.metrics_log.record(plan.source, result)
         self._publish_query_metrics(result)
+        if self.slow_log is not None and self.slow_log.is_slow(result.seconds):
+            spans = list(tracer.events[events_start:]) if tracer.enabled else []
+            entry = self.slow_log.record(
+                result, plan.source, spans=spans, epoch=epoch_info
+            )
+            if tracer.enabled:
+                # Embed the exemplar in the trace buffer too, so flushed
+                # artifacts carry it (repro trace --slow reads either).
+                tracer.events.append(entry)
         return result
 
     def _publish_query_metrics(self, result: FixQueryResult) -> None:

@@ -394,6 +394,10 @@ class ShardedFixIndex:
                             self.encoder.merge(
                                 EdgeLabelEncoder.from_dict(staged.encoder_state)
                             )
+                        # Shard-order merge: the coordinator registry's
+                        # build.doc_* sketch states depend only on the
+                        # shard layout, never on shard_workers.
+                        self.obs.registry.merge_sketch_states(staged.sketches)
                     else:
                         staged = StagedBuild()
                     shard.rebuild_from_staged(staged)

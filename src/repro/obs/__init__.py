@@ -31,10 +31,22 @@ from repro.obs.registry import (
     Histogram,
     MetricsRegistry,
 )
-from repro.obs.tracer import NOOP_SPAN, Span, Tracer, read_trace, write_trace
+from repro.obs.resources import ResourceSampler
+from repro.obs.sketch import DEFAULT_SKETCH_K, QuantileSketch
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    read_trace,
+    scan_trace,
+    write_trace,
+)
+from repro.obs.window import RollingWindow
 
 __all__ = [
     "DEFAULT_LATENCY_BOUNDS",
+    "DEFAULT_SKETCH_K",
     "Counter",
     "Gauge",
     "Histogram",
@@ -42,9 +54,14 @@ __all__ = [
     "NOOP_SPAN",
     "Obs",
     "ObsConfig",
+    "QuantileSketch",
+    "ResourceSampler",
+    "RollingWindow",
+    "SlowQueryLog",
     "Span",
     "Tracer",
     "read_trace",
+    "scan_trace",
     "write_trace",
 ]
 
@@ -136,7 +153,10 @@ def _snapshot_delta(prev: dict, cur: dict) -> dict:
     Counters and histograms diff (so ``merge_snapshot`` over a sequence
     of flushed deltas reconstructs the final totals exactly); gauges are
     point-in-time values and pass through unchanged — merge is
-    last-write-wins for them anyway.
+    last-write-wins for them anyway.  Sketches cannot be diffed (the
+    state is lossy), so each flush carries the *full* sketch state and
+    trace summarization keeps only the last state per (run, name)
+    before merging across runs — same net effect as the counter deltas.
     """
     prev_counters = prev.get("counters", {})
     prev_histograms = prev.get("histograms", {})
@@ -162,4 +182,5 @@ def _snapshot_delta(prev: dict, cur: dict) -> dict:
         "counters": counters,
         "gauges": dict(cur["gauges"]),
         "histograms": histograms,
+        "sketches": dict(cur.get("sketches", {})),
     }

@@ -32,11 +32,14 @@ from __future__ import annotations
 
 from bisect import bisect_right
 
+from repro.obs.sketch import DEFAULT_SKETCH_K, QuantileSketch
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "DEFAULT_LATENCY_BOUNDS",
 ]
 
@@ -129,6 +132,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
 
     # ------------------------------------------------------------------ #
     # Instruments
@@ -158,6 +162,28 @@ class MetricsRegistry:
                 f"{instrument.bounds}, requested {tuple(bounds)}"
             )
         return instrument
+
+    def sketch(self, name: str, k: int = DEFAULT_SKETCH_K) -> QuantileSketch:
+        """Get-or-create a mergeable quantile sketch (DESIGN.md §13).
+
+        Unlike :meth:`histogram`, a sketch derives *any* quantile with a
+        bounded rank error — the instrument the serving layer's p50/p99
+        reporting reads.  Capacity conflicts raise, like histogram
+        bound conflicts, because two capacities cannot merge.
+        """
+        instrument = self._sketches.get(name)
+        if instrument is None:
+            instrument = self._sketches[name] = QuantileSketch(name, k=k)
+        elif instrument.k != k:
+            raise ValueError(
+                f"sketch {name!r} already registered with k={instrument.k}, "
+                f"requested k={k}"
+            )
+        return instrument
+
+    def sketch_names(self) -> list[str]:
+        """The registered sketch names, sorted."""
+        return sorted(self._sketches)
 
     def sync_counter(self, name: str, value: float) -> None:
         """Catch counter ``name`` up to an externally accumulated total.
@@ -191,13 +217,21 @@ class MetricsRegistry:
             "histograms": {
                 name: h.as_dict() for name, h in sorted(self._histograms.items())
             },
+            "sketches": {
+                name: s.as_dict() for name, s in sorted(self._sketches.items())
+            },
         }
 
     def merge_snapshot(self, snapshot: dict) -> None:
         """Fold another registry's snapshot into this one.
 
         Counters and histogram buckets add; gauges take the incoming
-        value (last write wins, the conventional gauge merge).
+        value (last write wins, the conventional gauge merge); sketches
+        merge (replay-exact for uncompacted inputs — see
+        :class:`~repro.obs.sketch.QuantileSketch`).  Merge the incoming
+        snapshots in a deterministic order (chunk order for worker
+        absorbs, shard order for sharded aggregation) and the merged
+        sketch state is deterministic too.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -209,12 +243,24 @@ class MetricsRegistry:
                 instrument.counts[i] += count
             instrument.count += dump["count"]
             instrument.sum += dump["sum"]
+        for name, dump in snapshot.get("sketches", {}).items():
+            self.sketch(name, k=int(dump["k"])).merge(dump)
+
+    def merge_sketch_states(self, sketches: dict) -> None:
+        """Fold a bare ``{name: sketch state}`` mapping (the worker
+        absorb payload) into this registry's sketches."""
+        for name, dump in sketches.items():
+            self.sketch(name, k=int(dump["k"])).merge(dump)
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges) + len(self._histograms)
+        return (
+            len(self._counters) + len(self._gauges)
+            + len(self._histograms) + len(self._sketches)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MetricsRegistry({len(self._counters)} counters, "
-            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+            f"{len(self._gauges)} gauges, {len(self._histograms)} histograms, "
+            f"{len(self._sketches)} sketches)"
         )

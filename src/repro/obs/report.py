@@ -15,10 +15,10 @@ reproduces Table 1's phase breakdown exactly, not within sampling error.
 from __future__ import annotations
 
 from repro.obs.registry import MetricsRegistry
-from repro.obs.tracer import read_trace
+from repro.obs.tracer import scan_trace
 
 __all__ = ["TraceSummary", "summarize_trace", "summarize_trace_file",
-           "format_trace_report"]
+           "format_trace_report", "format_slow_queries"]
 
 #: build.phase_seconds.<phase> counter prefix (written by PhaseTimings).
 PHASE_PREFIX = "build.phase_seconds."
@@ -41,6 +41,11 @@ class TraceSummary:
         self.queries: list[dict] = []
         #: span events whose parent id never appears (diagnostic).
         self.orphan_spans = 0
+        #: malformed trace lines skipped by the lenient reader.
+        self.skipped_records = 0
+        #: slow-query exemplar events (``{"type": "slow_query", ...}``)
+        #: embedded in the trace, newest last.
+        self.slow_queries: list[dict] = []
 
     # -- derived views ------------------------------------------------- #
 
@@ -90,6 +95,39 @@ class TraceSummary:
     def slowest_queries(self, top: int = 10) -> list[dict]:
         return sorted(self.queries, key=lambda q: -q["total_s"])[:top]
 
+    def epoch_counters(self) -> dict[str, float]:
+        """The ``epoch.*`` mutation-path counters (PR 8), when present:
+        pins, mutations, scoped vs full invalidations — plus the
+        current epoch gauge."""
+        counters = {
+            name: value
+            for name, value in self.counters.items()
+            if name.startswith("epoch.")
+        }
+        gauges = self.registry.snapshot()["gauges"]
+        if "epoch.current" in gauges:
+            counters["epoch.current"] = gauges["epoch.current"]
+        return counters
+
+    def latency_quantiles(self) -> dict[str, dict]:
+        """Per-series quantiles from the merged ``query.*``/``build.*``
+        /``mutation.*`` sketches (empty when the trace predates them)."""
+        out: dict[str, dict] = {}
+        for name in sorted(self.registry.sketch_names()):
+            sketch = self.registry.sketch(name)
+            if not sketch.count:
+                continue
+            p50, p95, p99 = sketch.quantiles((0.5, 0.95, 0.99))
+            out[name] = {
+                "count": sketch.count,
+                "p50": p50,
+                "p95": p95,
+                "p99": p99,
+                "max": sketch.max,
+                "rank_error_bound": sketch.rank_error_bound(),
+            }
+        return out
+
     def as_dict(self, top: int = 10) -> dict:
         """JSON-friendly dump (what ``repro trace --json`` emits)."""
         return {
@@ -102,7 +140,11 @@ class TraceSummary:
             "spans": self.span_stats,
             "queries": len(self.queries),
             "slowest_queries": self.slowest_queries(top),
+            "latency_quantiles": self.latency_quantiles(),
+            "epochs": self.epoch_counters(),
+            "slow_query_exemplars": len(self.slow_queries),
             "orphan_spans": self.orphan_spans,
+            "skipped_records": self.skipped_records,
             "counters": self.counters,
         }
 
@@ -151,14 +193,40 @@ def summarize_trace(events: list[dict]) -> TraceSummary:
         elif event["name"] == "query.refine":
             query["refine_s"] += event["dur"]
     summary.queries = list(query_spans.values())
+    # Metrics merging: counters/gauges/histograms are flushed as deltas,
+    # so every snapshot folds in.  Sketches cannot be delta-encoded (the
+    # state is lossy), so each flush carries the *full* state and only
+    # the LAST state per (run, name) counts — then runs merge, in
+    # first-appearance order of the run tag (deterministic: the file
+    # order is the flush order).
+    run_order: list[str] = []
+    last_sketches: dict[tuple[str, str], dict] = {}
     for event in events:
         if event.get("type") == "metrics":
-            summary.registry.merge_snapshot(event.get("snapshot", {}))
+            snapshot = dict(event.get("snapshot", {}))
+            sketches = snapshot.pop("sketches", {})
+            run = str(event.get("run"))
+            if run not in run_order:
+                run_order.append(run)
+            for name, state in sketches.items():
+                last_sketches[(run, name)] = state
+            summary.registry.merge_snapshot(snapshot)
+        elif event.get("type") == "slow_query":
+            summary.slow_queries.append(event)
+    for run in run_order:
+        for (state_run, name) in sorted(last_sketches):
+            if state_run == run:
+                state = last_sketches[(state_run, name)]
+                summary.registry.sketch(name, k=int(state["k"])).merge(state)
     return summary
 
 
-def summarize_trace_file(path: str) -> TraceSummary:
-    return summarize_trace(read_trace(path))
+def summarize_trace_file(path: str, strict: bool = False) -> TraceSummary:
+    events, skipped = scan_trace(path, strict=strict)
+    summary = summarize_trace(events)
+    summary.skipped_records = skipped
+    summary.registry.sync_counter("trace.skipped_records", skipped)
+    return summary
 
 
 def format_trace_report(summary: TraceSummary, top: int = 10) -> str:
@@ -204,6 +272,38 @@ def format_trace_report(summary: TraceSummary, top: int = 10) -> str:
                 f"{query['prune_s'] * 1e3:7.2f}ms {query['refine_s'] * 1e3:7.2f}ms "
                 f"{query['candidates']:6d} {query['results']:6d}  {query['source']}"
             )
+    quantiles = {
+        # The table renders milliseconds; non-time sketches (e.g. the
+        # per-doc entry-count distribution) stay in the JSON dump only.
+        name: stats
+        for name, stats in summary.latency_quantiles().items()
+        if name.endswith("seconds")
+    }
+    if quantiles:
+        lines.append("latency quantiles (from merged sketches):")
+        lines.append(
+            f"  {'series':<24s} {'p50 ms':>9s} {'p95 ms':>9s} "
+            f"{'p99 ms':>9s} {'max ms':>9s} {'n':>7s}  err"
+        )
+        for name, stats in quantiles.items():
+            lines.append(
+                f"  {name:<24s} {stats['p50'] * 1e3:9.3f} "
+                f"{stats['p95'] * 1e3:9.3f} {stats['p99'] * 1e3:9.3f} "
+                f"{stats['max'] * 1e3:9.3f} {stats['count']:7d}  "
+                f"±{stats['rank_error_bound']:.4f}"
+            )
+    epochs = summary.epoch_counters()
+    if epochs:
+        parts = [
+            f"{name[len('epoch.'):]} {value:.0f}"
+            for name, value in sorted(epochs.items())
+        ]
+        lines.append("epochs: " + ", ".join(parts))
+    if summary.slow_queries:
+        lines.append(
+            f"slow-query exemplars: {len(summary.slow_queries)} captured "
+            "(repro trace --slow for details)"
+        )
     if summary.span_stats:
         lines.append("spans:")
         for name, stats in sorted(summary.span_stats.items()):
@@ -213,4 +313,42 @@ def format_trace_report(summary: TraceSummary, top: int = 10) -> str:
             )
     if summary.orphan_spans:
         lines.append(f"warning: {summary.orphan_spans} orphan span(s) in trace")
+    if summary.skipped_records:
+        lines.append(
+            f"warning: {summary.skipped_records} malformed record(s) skipped"
+        )
+    return "\n".join(lines)
+
+
+def format_slow_queries(summary: TraceSummary, top: int = 10) -> str:
+    """The ``repro trace --slow`` view: captured exemplars with their
+    phase split, epoch pin, and span-subtree size."""
+    if not summary.slow_queries:
+        return "no slow-query exemplars captured"
+    lines = [f"slow-query exemplars ({len(summary.slow_queries)} captured):"]
+    ordered = sorted(
+        summary.slow_queries, key=lambda e: -e.get("seconds", 0.0)
+    )[:top]
+    for entry in ordered:
+        epoch = entry.get("epoch") or {}
+        epoch_bit = (
+            f"epoch {epoch.get('epoch')}" if "epoch" in epoch else
+            f"epochs {epoch.get('vector')}" if "vector" in epoch else "epoch ?"
+        )
+        threshold = entry.get("threshold_s")
+        lines.append(
+            f"  {entry.get('seconds', 0.0) * 1e3:8.2f}ms "
+            f"(plan {entry.get('plan_s', 0.0) * 1e3:.2f} / "
+            f"prune {entry.get('prune_s', 0.0) * 1e3:.2f} / "
+            f"refine {entry.get('refine_s', 0.0) * 1e3:.2f}) "
+            f"cdt {entry.get('candidates', 0)} rst {entry.get('results', 0)} "
+            f"{entry.get('backend', '?')}  {entry.get('source', '<twig>')}"
+        )
+        lines.append(
+            f"      {epoch_bit}, {len(entry.get('spans', []))} span(s), "
+            + (
+                f"threshold {threshold * 1e3:.2f}ms"
+                if threshold is not None else "fixed capture"
+            )
+        )
     return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Process resource gauges on a low-overhead ticker (DESIGN.md §13).
+
+The query pipeline publishes what *it* did; this module publishes what
+the process around it looks like while doing it — RSS, CPU seconds,
+buffer-pool residency and hit rate, epoch pins and writer queue depth —
+the gauges ``repro top`` and the future daemon's dashboards watch.
+
+Sampling is pull-based and cheap (a ``/proc/self`` read plus a handful
+of gauge sets); :meth:`ResourceSampler.sample_once` is the unit of
+work, and :meth:`start` runs it on a daemon-thread ticker whose
+interval bounds the overhead (default one sample per 5 s — far below
+the 2 % telemetry budget).  Everything is stdlib; platforms without
+``/proc`` fall back to ``resource.getrusage``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = ["ResourceSampler", "rss_bytes", "cpu_seconds"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes() -> float:
+    """Resident set size in bytes (``/proc/self/statm`` when present,
+    ``getrusage`` maxrss otherwise, 0.0 when neither exists)."""
+    try:
+        with open("/proc/self/statm", encoding="ascii") as handle:
+            return float(int(handle.read().split()[1]) * _PAGE_SIZE)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is KiB on Linux, bytes on macOS; Linux is the
+        # deployment target, so KiB it is.
+        return float(usage.ru_maxrss * 1024)
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0.0
+
+
+def cpu_seconds() -> float:
+    """Cumulative user+system CPU time of this process."""
+    times = os.times()
+    return float(times.user + times.system)
+
+
+class ResourceSampler:
+    """Periodic sampler publishing process/resource gauges.
+
+    Args:
+        registry: the :class:`~repro.obs.registry.MetricsRegistry` the
+            gauges land in.
+        index: optional index whose pager/epoch state is sampled too
+            (``pager_stats()`` and ``epochs`` are read when present).
+        interval: ticker period in seconds when started.
+        slow_log: optional :class:`~repro.obs.slowlog.SlowQueryLog`
+            whose capture counters get published alongside.
+    """
+
+    def __init__(
+        self,
+        registry,
+        index=None,
+        interval: float = 5.0,
+        slow_log=None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.registry = registry
+        self.index = index
+        self.interval = interval
+        self.slow_log = slow_log
+        self.samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def sample_once(self) -> None:
+        """Take one sample (the deterministic unit CI and tests call)."""
+        registry = self.registry
+        registry.gauge("process.rss_bytes").set(rss_bytes())
+        registry.gauge("process.cpu_seconds").set(cpu_seconds())
+        index = self.index
+        if index is not None:
+            pager_stats = getattr(index, "pager_stats", None)
+            if callable(pager_stats):
+                pager_stats().publish(registry)
+            epochs = getattr(index, "epochs", None)
+            if epochs is not None:
+                epochs.publish(registry)
+                registry.gauge("epoch.readers_pinned").set(
+                    epochs.pinned_readers
+                )
+                registry.gauge("epoch.writers_waiting").set(
+                    epochs.writers_waiting
+                )
+        if self.slow_log is not None:
+            self.slow_log.publish(registry)
+        self.samples += 1
+        registry.sync_counter("resources.samples", self.samples)
+
+    # ------------------------------------------------------------------ #
+    # Ticker
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> "ResourceSampler":
+        """Run :meth:`sample_once` every ``interval`` seconds on a
+        daemon thread (idempotent; returns self for chaining)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self.interval):
+                self.sample_once()
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the ticker (taking one last sample by default, so short
+        runs still publish their gauges)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.interval + 1.0)
+            self._thread = None
+        if final_sample:
+            self.sample_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

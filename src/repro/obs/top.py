@@ -1,0 +1,305 @@
+"""``repro top`` — a live terminal dashboard over a trace/metrics
+artifact (DESIGN.md §13).
+
+The dashboard *tails* a JSONL trace file (the artifact ``--trace``
+writes and the daemon will stream): new events are ingested
+incrementally from the last read offset, query spans feed a
+:class:`~repro.obs.window.RollingWindow` keyed on their recorded wall
+timestamps, and metrics snapshots merge into one registry — so the
+frame shows both rolling tail latency ("last 60 s p99") and lifetime
+aggregates (cache hit rates, shard balance) side by side.
+
+Rendering is plain ANSI (stdlib only): the interactive loop repaints
+with a home+clear escape; ``--once`` renders a single frame with no
+escape codes — the CI-able mode, and the snapshot-file mode for saved
+traces (time is then pinned to the newest event in the file, so a
+historical trace renders its own "last 60 s" faithfully).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import deque
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.window import RollingWindow
+
+__all__ = ["TraceTail", "TopDashboard", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RESET = "\x1b[0m"
+
+
+class TraceTail:
+    """Incremental JSONL reader: each :meth:`poll` parses only the
+    bytes appended since the last one.  A partial trailing line (a
+    writer mid-append) is left in the file for the next poll; malformed
+    complete lines are counted and skipped, never raised."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.offset = 0
+        self.skipped = 0
+
+    def poll(self) -> list[dict]:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:  # truncated/rotated: start over
+            self.offset = 0
+        if size == self.offset:
+            return []
+        events: list[dict] = []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read(size - self.offset)
+        # Only consume whole lines; the remainder stays for next poll.
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return []
+        self.offset += end + 1
+        for raw in chunk[: end + 1].splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                events.append(json.loads(raw))
+            except json.JSONDecodeError:
+                self.skipped += 1
+        return events
+
+
+class TopDashboard:
+    """State + renderer behind ``repro top``."""
+
+    def __init__(
+        self,
+        path: str,
+        window_seconds: float = 60.0,
+        slow_capacity: int = 8,
+    ) -> None:
+        self.tail = TraceTail(path)
+        self.window = RollingWindow(width=window_seconds, buckets=12)
+        self.registry = MetricsRegistry()
+        self.slow_ring: deque = deque(maxlen=slow_capacity)
+        self.total_queries = 0
+        self.total_events = 0
+        self.latest_ts = 0.0
+        #: per-run latest sketch states (flushes supersede within a run,
+        #: runs merge — same convention as ``summarize_trace``).
+        self._run_sketches: dict[tuple[str, str], dict] = {}
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def poll(self) -> int:
+        """Ingest newly appended events; returns how many arrived."""
+        events = self.tail.poll()
+        for event in events:
+            self._ingest(event)
+        self.total_events += len(events)
+        return len(events)
+
+    def _ingest(self, event: dict) -> None:
+        kind = event.get("type")
+        if kind == "span":
+            start = float(event.get("start", 0.0))
+            duration = float(event.get("dur", 0.0))
+            self.latest_ts = max(self.latest_ts, start + duration)
+            name = event.get("name")
+            if name == "query":
+                self.total_queries += 1
+                self.window.inc("queries", now=start)
+                self.window.observe("query.seconds", duration, now=start)
+                if event.get("error"):
+                    self.window.inc("errors", now=start)
+            elif name in ("query.plan", "query.prune", "query.refine"):
+                self.window.observe(f"{name}.seconds", duration, now=start)
+        elif kind == "metrics":
+            snapshot = dict(event.get("snapshot", {}))
+            sketches = snapshot.pop("sketches", {})
+            run = str(event.get("run"))
+            for sketch_name, state in sketches.items():
+                self._run_sketches[(run, sketch_name)] = state
+            self.registry.merge_snapshot(snapshot)
+        elif kind == "slow_query":
+            self.slow_ring.append(event)
+            self.latest_ts = max(self.latest_ts, float(event.get("ts", 0.0)))
+
+    def lifetime_sketches(self) -> MetricsRegistry:
+        """A registry holding the merged (deduplicated per run) sketch
+        states alongside the merged counters/gauges."""
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.registry.snapshot())
+        for (run, name) in sorted(self._run_sketches):
+            merged.sketch(
+                name, k=int(self._run_sketches[(run, name)]["k"])
+            ).merge(self._run_sketches[(run, name)])
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _ms(seconds: float) -> str:
+        if seconds != seconds:  # NaN
+            return "    --"
+        return f"{seconds * 1e3:6.2f}"
+
+    def render(self, color: bool = False, now: float | None = None) -> str:
+        """One dashboard frame.  ``now`` defaults to the newest event
+        timestamp, so saved traces render their own era's window."""
+        bold = _BOLD if color else ""
+        dim = _DIM if color else ""
+        reset = _RESET if color else ""
+        now = self.latest_ts if now is None else now
+        window = self.window
+        lines: list[str] = []
+        lines.append(
+            f"{bold}repro top{reset} — {self.tail.path}  "
+            f"({self.total_events} events"
+            + (f", {self.tail.skipped} skipped" if self.tail.skipped else "")
+            + ")"
+        )
+        qps = window.rate("queries", now=now)
+        errors = window.count("errors", now=now)
+        lines.append(
+            f"{bold}window {window.width:.0f}s{reset}: "
+            f"{qps:8.2f} qps   {window.count('queries', now=now):.0f} queries"
+            f"   {errors:.0f} errors   ({self.total_queries} lifetime)"
+        )
+        header = (
+            f"  {'series':<22s} {'p50 ms':>8s} {'p95 ms':>8s} "
+            f"{'p99 ms':>8s} {'max ms':>8s} {'n':>6s}"
+        )
+        lines.append(dim + header + reset)
+        for series in ("query.seconds", "query.plan.seconds",
+                       "query.prune.seconds", "query.refine.seconds"):
+            sketch = window.merged_sketch(series, now=now)
+            if not sketch.count:
+                continue
+            p50, p95, p99 = sketch.quantiles((0.5, 0.95, 0.99))
+            lines.append(
+                f"  {series:<22s} {self._ms(p50):>8s} {self._ms(p95):>8s} "
+                f"{self._ms(p99):>8s} {self._ms(sketch.max):>8s} "
+                f"{sketch.count:>6d}"
+            )
+        snapshot = self.registry.snapshot()
+        counters = snapshot["counters"]
+        gauges = snapshot["gauges"]
+        cache_bits: list[str] = []
+        for label, hit_name, miss_name in (
+            ("plan", "query.plan_cache.hits", "query.plan_cache.misses"),
+            ("spectral", "build.cache.hits", "build.cache.misses"),
+        ):
+            hits = counters.get(hit_name, 0.0)
+            total = hits + counters.get(miss_name, 0.0)
+            if total:
+                cache_bits.append(f"{label} {hits / total:.1%}")
+        pager_reads = counters.get("pager.logical_reads", 0.0)
+        if pager_reads:
+            cache_bits.append(
+                f"pager {counters.get('pager.cache_hits', 0.0) / pager_reads:.1%}"
+            )
+        if cache_bits:
+            lines.append(f"{bold}caches{reset}: " + "   ".join(cache_bits))
+        rss = gauges.get("process.rss_bytes")
+        cpu = gauges.get("process.cpu_seconds")
+        if rss or cpu:
+            bits = []
+            if rss:
+                bits.append(f"rss {rss / 1e6:.1f} MB")
+            if cpu:
+                bits.append(f"cpu {cpu:.1f}s")
+            pins = gauges.get("epoch.readers_pinned")
+            if pins is not None:
+                bits.append(f"pins {pins:.0f}")
+            lines.append(f"{bold}process{reset}: " + "   ".join(bits))
+        epoch_bits = []
+        for label, name in (("pins", "epoch.pins"),
+                            ("mutations", "epoch.mutations"),
+                            ("scoped", "epoch.invalidations.scoped"),
+                            ("full", "epoch.invalidations.full")):
+            value = counters.get(name)
+            if value:
+                epoch_bits.append(f"{label} {value:.0f}")
+        if "epoch.current" in gauges:
+            epoch_bits.append(f"epoch {gauges['epoch.current']:.0f}")
+        if epoch_bits:
+            lines.append(f"{bold}epochs{reset}: " + "   ".join(epoch_bits))
+        shard_entries = sorted(
+            (name, value)
+            for name, value in gauges.items()
+            if name.startswith("shards.") and name.endswith(".entries")
+        )
+        if shard_entries:
+            values = [value for _, value in shard_entries]
+            bar_max = max(values) or 1.0
+            mean = sum(values) / len(values)
+            skew = (max(values) / mean) if mean else 0.0
+            empty = gauges.get(
+                "shards.empty", sum(1 for v in values if not v)
+            )
+            lines.append(
+                f"{bold}shards{reset}: skew {skew:.2f}, {empty:.0f} empty"
+            )
+            for name, value in shard_entries:
+                shard_id = name.split(".")[1]
+                bar = "#" * max(1, int(24 * value / bar_max)) if value else ""
+                lines.append(
+                    f"  shard {shard_id:>3s} {value:>10.0f} {dim}{bar}{reset}"
+                )
+        if self.slow_ring:
+            lines.append(f"{bold}slow queries{reset} (newest last):")
+            for entry in self.slow_ring:
+                lines.append(
+                    f"  {entry.get('seconds', 0.0) * 1e3:8.2f}ms "
+                    f"plan {entry.get('plan_s', 0.0) * 1e3:6.2f} "
+                    f"prune {entry.get('prune_s', 0.0) * 1e3:6.2f} "
+                    f"refine {entry.get('refine_s', 0.0) * 1e3:6.2f}  "
+                    f"{entry.get('source', '?')}"
+                )
+        return "\n".join(lines)
+
+
+def run_top(
+    path: str,
+    once: bool = False,
+    interval: float = 1.0,
+    window_seconds: float = 60.0,
+    out=None,
+    iterations: int | None = None,
+) -> int:
+    """Drive the dashboard: one plain frame for ``--once``, otherwise
+    an ANSI repaint loop until interrupted (``iterations`` bounds the
+    loop for tests)."""
+    out = out if out is not None else sys.stdout
+    dashboard = TopDashboard(path, window_seconds=window_seconds)
+    # A downstream reader hanging up (e.g. `repro top --once | grep -q`)
+    # is a normal way for this command to end, not an error.
+    if once:
+        dashboard.poll()
+        try:
+            print(dashboard.render(color=False), file=out)
+        except BrokenPipeError:
+            pass
+        return 0
+    try:
+        ticks = 0
+        while iterations is None or ticks < iterations:
+            dashboard.poll()
+            frame = dashboard.render(color=True, now=time.time())
+            print(_CLEAR + frame, file=out, flush=True)
+            ticks += 1
+            time.sleep(interval)
+    except (KeyboardInterrupt, BrokenPipeError):
+        pass
+    return 0

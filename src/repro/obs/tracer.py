@@ -40,9 +40,12 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 
-__all__ = ["NOOP_SPAN", "Span", "Tracer", "read_trace", "write_trace"]
+__all__ = [
+    "NOOP_SPAN", "Span", "Tracer", "read_trace", "scan_trace", "write_trace",
+]
 
 
 class _NoopSpan:
@@ -208,18 +211,63 @@ def write_trace(events: list[dict], path: str, append: bool = False) -> int:
     return len(events)
 
 
-def read_trace(path: str) -> list[dict]:
-    """Load a JSONL trace written by :func:`write_trace` (blank lines
-    are skipped; malformed lines raise ``ValueError`` with the line
-    number)."""
+def scan_trace(
+    path: str, strict: bool = False, warn: bool = True
+) -> tuple[list[dict], int]:
+    """Load a JSONL trace, tolerating damage: ``(events, skipped)``.
+
+    Trace files get truncated (a process killed mid-append), rotated
+    under a reader, or corrupted mid-line (two writers without
+    ``append`` discipline).  None of that should take down ``repro
+    trace`` over the surviving records, so malformed lines are
+    *skipped* — counted, and warned about once per file on stderr —
+    unless ``strict=True``, which restores the raising behaviour for
+    callers that treat any damage as fatal.  Blank lines are always
+    skipped silently; an empty file is an empty trace, not an error.
+    """
     events: list[dict] = []
+    skipped = 0
+    first_bad: str | None = None
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                record = json.loads(line)
             except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno}: not a JSON object") from exc
-    return events
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a JSON object"
+                    ) from exc
+                skipped += 1
+                if first_bad is None:
+                    first_bad = f"{path}:{lineno}"
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a JSON object"
+                    )
+                skipped += 1
+                if first_bad is None:
+                    first_bad = f"{path}:{lineno}"
+                continue
+            events.append(record)
+    if skipped and warn:
+        print(
+            f"warning: skipped {skipped} malformed trace record(s) "
+            f"(first at {first_bad})",
+            file=sys.stderr,
+        )
+    return events, skipped
+
+
+def read_trace(path: str, strict: bool = False) -> list[dict]:
+    """Load a JSONL trace written by :func:`write_trace`.
+
+    Malformed or truncated lines are skipped with a stderr warning (see
+    :func:`scan_trace` for the full policy and the skip count);
+    ``strict=True`` raises ``ValueError`` with the line number instead.
+    """
+    return scan_trace(path, strict=strict)[0]

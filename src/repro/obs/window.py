@@ -1,0 +1,175 @@
+"""Time-windowed rolling aggregation (DESIGN.md §13).
+
+The registry's instruments are *lifetime* accumulators; a serving
+daemon needs "p99 over the last 60 seconds".  :class:`RollingWindow`
+provides that as a ring of fixed-duration epochs, each holding its own
+:class:`~repro.obs.sketch.QuantileSketch` per observed series plus a
+counter map — an observation lands in the bucket its timestamp falls
+into, and reads merge only the buckets still inside the window.
+
+Determinism: the clock is an injection point (``clock=`` callable, or
+an explicit ``now=`` per call), so tests — and file-driven consumers
+like ``repro top --once`` replaying historical trace timestamps — drive
+time themselves.  Bucket expiry is purely arithmetic on the bucket
+epoch number; no background thread sweeps anything.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.sketch import QuantileSketch
+
+__all__ = ["RollingWindow"]
+
+
+class _Bucket:
+    """One ring slot: the bucket-epoch it currently holds, its
+    per-series sketches, and its per-series counters."""
+
+    __slots__ = ("epoch", "sketches", "counters")
+
+    def __init__(self) -> None:
+        self.epoch = -1
+        self.sketches: dict[str, QuantileSketch] = {}
+        self.counters: dict[str, float] = {}
+
+    def reset(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.sketches.clear()
+        self.counters.clear()
+
+
+class RollingWindow:
+    """Last-``width``-seconds aggregation over named series.
+
+    Args:
+        width: window span in seconds (default 60).
+        buckets: ring granularity; expiry resolution is
+            ``width / buckets`` seconds (default 12 -> 5 s).
+        k: sketch capacity per bucket series (small — per-bucket
+            streams are short; merged reads re-combine them).
+        clock: monotonic time source; injectable for tests and for
+            replaying recorded timestamps.
+    """
+
+    def __init__(
+        self,
+        width: float = 60.0,
+        buckets: int = 12,
+        k: int = 256,
+        clock=time.monotonic,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"window width must be positive, got {width}")
+        if buckets < 1:
+            raise ValueError(f"need at least one bucket, got {buckets}")
+        self.width = float(width)
+        self.span = self.width / buckets
+        self.k = k
+        self.clock = clock
+        self._ring = [_Bucket() for _ in range(buckets)]
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def _bucket_at(self, now: float | None) -> _Bucket:
+        now = self.clock() if now is None else now
+        epoch = int(now // self.span)
+        bucket = self._ring[epoch % len(self._ring)]
+        if bucket.epoch != epoch:
+            bucket.reset(epoch)
+        return bucket
+
+    def observe(self, name: str, value: float, now: float | None = None) -> None:
+        """Record one sample of series ``name`` at time ``now``."""
+        bucket = self._bucket_at(now)
+        sketch = bucket.sketches.get(name)
+        if sketch is None:
+            sketch = bucket.sketches[name] = QuantileSketch(name, k=self.k)
+        sketch.observe(value)
+
+    def inc(self, name: str, amount: float = 1.0, now: float | None = None) -> None:
+        """Bump a windowed counter series."""
+        bucket = self._bucket_at(now)
+        bucket.counters[name] = bucket.counters.get(name, 0.0) + amount
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def _live(self, now: float | None) -> list[_Bucket]:
+        """Buckets still inside the window at ``now``, oldest first —
+        the deterministic merge order."""
+        now = self.clock() if now is None else now
+        newest = int(now // self.span)
+        oldest = newest - len(self._ring) + 1
+        live = [
+            bucket
+            for bucket in self._ring
+            if oldest <= bucket.epoch <= newest
+        ]
+        live.sort(key=lambda bucket: bucket.epoch)
+        return live
+
+    def merged_sketch(self, name: str, now: float | None = None) -> QuantileSketch:
+        """One sketch covering series ``name`` across the live window
+        (merged oldest-bucket-first; empty sketch when nothing lives)."""
+        merged = QuantileSketch(name, k=self.k)
+        for bucket in self._live(now):
+            sketch = bucket.sketches.get(name)
+            if sketch is not None:
+                merged.merge(sketch)
+        return merged
+
+    def quantile(self, name: str, q: float, now: float | None = None) -> float:
+        """Windowed quantile of series ``name`` (NaN when empty)."""
+        return self.merged_sketch(name, now).quantile(q)
+
+    def count(self, name: str, now: float | None = None) -> float:
+        """Windowed total of counter series ``name`` (sketch series
+        fall back to their observation count)."""
+        total = 0.0
+        for bucket in self._live(now):
+            if name in bucket.counters:
+                total += bucket.counters[name]
+            elif name in bucket.sketches:
+                total += bucket.sketches[name].count
+        return total
+
+    def rate(self, name: str, now: float | None = None) -> float:
+        """Windowed events-per-second of series ``name``."""
+        return self.count(name, now) / self.width
+
+    def snapshot(self, now: float | None = None) -> dict:
+        """JSON-friendly window summary: per-series count/rate plus
+        p50/p90/p95/p99 for sketch-backed series."""
+        now = self.clock() if now is None else now
+        live = self._live(now)
+        names: set[str] = set()
+        for bucket in live:
+            names.update(bucket.sketches)
+            names.update(bucket.counters)
+        series: dict[str, dict] = {}
+        for name in sorted(names):
+            entry: dict = {
+                "count": self.count(name, now),
+                "rate": self.rate(name, now),
+            }
+            merged = self.merged_sketch(name, now)
+            if merged.count:
+                p50, p90, p95, p99 = merged.quantiles((0.5, 0.9, 0.95, 0.99))
+                entry.update(
+                    p50=p50, p90=p90, p95=p95, p99=p99,
+                    min=merged.min, max=merged.max,
+                    mean=merged.sum / merged.count,
+                )
+            series[name] = entry
+        return {"width_seconds": self.width, "series": series}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RollingWindow(width={self.width}s, "
+            f"buckets={len(self._ring)}, span={self.span}s)"
+        )

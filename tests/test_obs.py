@@ -35,6 +35,7 @@ from repro.obs import (
     ObsConfig,
     Tracer,
     read_trace,
+    scan_trace,
 )
 from repro.obs.report import format_trace_report, summarize_trace_file
 from repro.storage import PrimaryXMLStore
@@ -466,8 +467,37 @@ class TestTraceRoundTrip:
         assert merged["histograms"]["h"]["count"] == 2
         assert merged["histograms"]["h"]["sum"] == pytest.approx(2.5)
 
-    def test_reader_rejects_malformed_lines(self, tmp_path):
+    def test_reader_skips_malformed_lines(self, tmp_path, capsys):
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"type":"span"}\nnot json\n')
+        path.write_text('{"type":"span"}\nnot json\n[1, 2]\n{"type":"metrics"}\n')
+        records, skipped = scan_trace(str(path))
+        assert [r["type"] for r in records] == ["span", "metrics"]
+        assert skipped == 2
+        err = capsys.readouterr().err
+        assert "skipped 2 malformed trace record(s)" in err
+        assert "bad.jsonl:2" in err
+
+        # strict mode preserves the old fail-fast contract.
         with pytest.raises(ValueError, match="bad.jsonl:2"):
-            read_trace(str(path))
+            read_trace(str(path), strict=True)
+
+    def test_reader_tolerates_empty_and_truncated_files(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert read_trace(str(empty)) == []
+
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text('{"type":"span","name":"q"}\n{"type":"met')
+        records, skipped = scan_trace(str(truncated), warn=False)
+        assert [r["type"] for r in records] == ["span"]
+        assert skipped == 1
+
+    def test_summary_counts_skipped_records(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            'garbage\n'
+            '{"type":"span","name":"plan","run":"r","id":1,"ts":0.0,"dur":0.1}\n'
+        )
+        summary = summarize_trace_file(str(path))
+        assert summary.skipped_records == 1
+        assert summary.registry.snapshot()["counters"]["trace.skipped_records"] == 1
